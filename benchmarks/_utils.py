@@ -1,0 +1,9 @@
+"""Shared helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark an expensive experiment with a single measured round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,33 @@
+"""E1 — Figure 12: arbiter coverage by counterexample iteration."""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig12_arbiter
+from repro.experiments.common import format_table
+
+
+def test_fig12_arbiter_iterations(benchmark, print_section):
+    result = run_once(benchmark, fig12_arbiter.run)
+
+    headers = ["iteration", "input space % (ours)", "input space % (paper)",
+               "expression % (ours)", "expression % (paper)"]
+    rows = []
+    for index in range(len(result.iterations)):
+        paper_is = fig12_arbiter.PAPER_INPUT_SPACE[index] \
+            if index < len(fig12_arbiter.PAPER_INPUT_SPACE) else ""
+        paper_ex = fig12_arbiter.PAPER_EXPRESSION[index] \
+            if index < len(fig12_arbiter.PAPER_EXPRESSION) else ""
+        rows.append([index, f"{result.input_space[index]:.2f}", paper_is,
+                     f"{result.expression[index]:.2f}", paper_ex])
+    print_section("Figure 12 — arbiter2.gnt0 coverage by iteration",
+                  format_table(headers, rows))
+
+    # Shape requirements.
+    assert result.converged
+    assert result.input_space[0] == 0.0
+    assert result.input_space[-1] == 100.0
+    assert all(b >= a - 1e-9 for a, b in zip(result.input_space, result.input_space[1:]))
+    assert all(b >= a - 1e-9 for a, b in zip(result.expression, result.expression[1:]))
+    assert result.assertion_count >= 4

@@ -1,0 +1,29 @@
+"""E2 — Figure 13: design-space (input-space) coverage by iteration."""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig13_design_space
+from repro.experiments.common import format_table
+
+
+def test_fig13_design_space_coverage(benchmark, print_section):
+    result = run_once(benchmark, fig13_design_space.run)
+
+    body_rows = []
+    for series in result.series:
+        trajectory = " -> ".join(f"{value:.1f}" for value in series.coverage_percent)
+        body_rows.append([f"{series.design}.{series.output}", series.group,
+                          series.iterations, trajectory])
+    print_section(
+        "Figure 13 — input-space coverage by iteration (%)",
+        format_table(["output", "group", "iterations", "coverage trajectory"], body_rows),
+    )
+
+    for series in result.series:
+        # Monotone increase and closure at 100% for every design in the set.
+        values = series.coverage_percent
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), series.design
+        assert values[-1] == 100.0, series.design
+        assert series.converged, series.design

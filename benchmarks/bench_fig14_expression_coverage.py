@@ -1,0 +1,28 @@
+"""E3 — Figure 14: expression coverage increase by iteration."""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig14_expression
+from repro.experiments.common import format_table
+
+
+def test_fig14_expression_coverage(benchmark, print_section):
+    result = run_once(benchmark, fig14_expression.run)
+
+    rows = []
+    for series in result.series:
+        ours = " -> ".join(f"{value:.1f}" for value in series.expression_percent)
+        paper = " -> ".join(f"{value:.1f}"
+                            for value in fig14_expression.PAPER_EXPRESSION.get(series.design, []))
+        rows.append([series.design, ours, paper])
+    print_section("Figure 14 — expression coverage by iteration (%)",
+                  format_table(["design", "ours", "paper"], rows))
+
+    for series in result.series:
+        values = series.expression_percent
+        # Never decreasing, and the refined suite is at least as good as the seed.
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), series.design
+        assert values[-1] >= values[0], series.design
+        assert series.converged, series.design

@@ -1,0 +1,38 @@
+"""E8 — Figure 16: random vs GoldMine coverage on the ITC'99-style designs."""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import fig16_itc99
+from repro.experiments.common import format_table
+
+
+def test_fig16_itc99_comparison(benchmark, print_section):
+    result = run_once(benchmark, fig16_itc99.run)
+
+    headers = ["design", "method", "cycles"] + list(fig16_itc99.METRICS)
+    rows = []
+    for row in result.rows:
+        rows.append([row.design, row.method, row.cycles] +
+                    [f"{row.metric(m):.2f}" for m in fig16_itc99.METRICS])
+    for design, methods in fig16_itc99.PAPER_ROWS.items():
+        for method, metrics in methods.items():
+            rows.append([design, f"paper {method}", ""] +
+                        [f"{metrics[m]:.2f}" if m in metrics else "x"
+                         for m in fig16_itc99.METRICS])
+    print_section("Figure 16 — coverage comparison on ITC'99-style designs (%)",
+                  format_table(headers, rows))
+
+    improved_somewhere = 0
+    for design in result.designs():
+        random_row = result.row_for(design, "random")
+        goldmine_row = result.row_for(design, "goldmine")
+        for metric in fig16_itc99.METRICS:
+            # GoldMine never loses to the random baseline on any metric.
+            assert goldmine_row.metric(metric) >= random_row.metric(metric) - 1e-9, \
+                (design, metric)
+            if goldmine_row.metric(metric) > random_row.metric(metric) + 1e-9:
+                improved_somewhere += 1
+    # And, as in the paper, it strictly improves several metrics overall.
+    assert improved_somewhere >= 3

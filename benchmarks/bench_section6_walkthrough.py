@@ -1,0 +1,33 @@
+"""E9 — Section 6 worked example: the arbiter refinement narrative."""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import arbiter_walkthrough
+from repro.experiments.common import format_table
+
+
+def test_section6_walkthrough(benchmark, print_section):
+    result = run_once(benchmark, arbiter_walkthrough.run)
+
+    headers = ["iteration", "checked", "proved", "refuted", "ctx",
+               "input space %", "expression %"]
+    rows = [[s.iteration, s.checked, len(s.new_true), len(s.failed), s.counterexamples,
+             f"{s.input_space_percent:.2f}", f"{s.expression_percent:.2f}"]
+            for s in result.snapshots]
+    print_section("Section 6 — arbiter2.gnt0 refinement narrative",
+                  format_table(headers, rows))
+    print_section("Section 6 — final assertion set (LTL)",
+                  "\n".join(result.final_assertions_ltl))
+
+    # The narrative's shape: the seed pass produces only refuted candidates,
+    # later passes prove increasingly specific assertions, and the loop ends
+    # with every candidate true and the full input space covered.
+    first, last = result.snapshots[0], result.snapshots[-1]
+    assert first.failed and not first.new_true
+    assert last.counterexamples == 0 and not last.failed
+    assert last.input_space_percent == 100.0
+    assert result.converged
+    assert len(result.final_assertions_ltl) >= 4
+    assert result.tree_dump.count("split=") >= 1

@@ -1,0 +1,33 @@
+"""E4 — Table 1: zero-initial-pattern limit study."""
+
+from __future__ import annotations
+
+from _utils import run_once
+
+from repro.experiments import table1_zero_seed
+from repro.experiments.common import format_table
+
+
+def test_table1_zero_seed(benchmark, print_section):
+    result = run_once(benchmark, table1_zero_seed.run)
+
+    checkpoints = list(table1_zero_seed.PAPER_CHECKPOINTS)
+    headers = ["output", "series"] + [f"iter {c}" for c in checkpoints]
+    rows = []
+    for series in result.series:
+        label = f"{series.design}.{series.output}"
+        rows.append([label, "ours"] + [f"{v:.2f}" for v in series.at_checkpoints()])
+        paper_key = {"arbiter2": "arbiter2.gnt0", "arbiter4": "arbiter4.gnt0",
+                     "fetch": "fetchstage.valid"}.get(series.design)
+        paper = table1_zero_seed.PAPER_SERIES.get(paper_key, [])
+        rows.append([label, "paper"] + [f"{v:.2f}" for v in paper])
+    print_section("Table 1 — input-space coverage by iteration, zero seed (%)",
+                  format_table(headers, rows))
+
+    for series in result.series:
+        values = series.coverage_percent
+        # Starts at zero (no patterns at all), grows monotonically, closes at 100%.
+        assert values[0] == 0.0, series.design
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), series.design
+        assert values[-1] == 100.0, series.design
+        assert series.converged and series.iterations_to_closure is not None

@@ -1,0 +1,31 @@
+"""Fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index), prints the regenerated rows/series next to
+the paper's reference numbers, and asserts the *shape* requirements
+documented in EXPERIMENTS.md (who wins, monotonicity, convergence) rather
+than absolute values.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the sibling `_utils` module importable regardless of how pytest was
+# invoked (repo root or benchmarks directory).
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+@pytest.fixture
+def print_section(capsys):
+    """Print a titled block that survives pytest's output capture."""
+
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+
+    return _print

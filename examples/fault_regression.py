@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Assertion-based regression: catching injected bugs with mined assertions.
+
+Reproduces the Table 2 experiment on the Rigel-like fetch stage: assertions
+are mined on the golden RTL with the coverage-closure loop, stuck-at-0/1
+faults are injected on the paper's fault sites (stall_in, branch_pc,
+branch_mispredict, icache_rdvl_i), and every mutant is re-checked against
+the assertion suite.  Every fault should be caught by at least one failing
+assertion.
+
+Run with:  python examples/fault_regression.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table2_faults
+from repro.experiments.common import format_table
+
+
+def main() -> None:
+    result = table2_faults.run()
+    print(f"design: {result.design}")
+    print(f"regression suite: {result.assertion_count} formally true assertions\n")
+
+    headers = ["signal", "stuck-at-0 detections", "stuck-at-1 detections"]
+    rows = [[signal, sa0, sa1] for signal, sa0, sa1 in result.rows]
+    print(format_table(headers, rows))
+
+    print(f"\nfaults detected: {result.campaign.detected_faults}"
+          f"/{result.campaign.total_faults}")
+    if result.all_detected:
+        print("every injected fault is caught by the assertion suite "
+              "(matches the paper's Table 2 outcome)")
+    else:
+        print("WARNING: some faults escaped the assertion suite")
+
+
+if __name__ == "__main__":
+    main()

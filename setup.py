@@ -1,0 +1,16 @@
+"""Legacy setup shim so editable installs work without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Towards Coverage Closure: Using GoldMine Assertions "
+        "for Generating Design Validation Stimulus' (Liu et al., DATE 2011)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

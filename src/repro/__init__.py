@@ -1,0 +1,70 @@
+"""repro — reproduction of "Towards Coverage Closure: Using GoldMine
+Assertions for Generating Design Validation Stimulus" (Liu et al., DATE 2011).
+
+Public API quick tour
+---------------------
+
+>>> from repro import parse_module, CoverageClosure, GoldMineConfig
+>>> from repro.designs import arbiter2
+>>> module = arbiter2()
+>>> closure = CoverageClosure(module, outputs=["gnt0"],
+...                           config=GoldMineConfig(window=2))
+>>> result = closure.run()
+>>> result.converged
+True
+>>> result.input_space_coverage("gnt0")
+1.0
+
+The main entry points are:
+
+* :func:`repro.hdl.parse_module` — parse a Verilog-subset design.
+* :class:`repro.sim.Simulator` — cycle-accurate simulation.
+* :class:`repro.core.GoldMine` — a single assertion-mining pass.
+* :class:`repro.core.CoverageClosure` — the paper's counterexample-guided
+  refinement loop producing assertions + validation stimulus.
+* :mod:`repro.coverage` — statement/branch/condition/expression/toggle/FSM
+  and output-centric input-space coverage.
+* :mod:`repro.faults` — stuck-at mutation and assertion regression.
+* :mod:`repro.designs` — the bundled benchmark designs.
+"""
+
+from repro.assertions import Assertion, Literal, Verdict
+from repro.core import (
+    ClosureResult,
+    CoverageClosure,
+    GoldMine,
+    GoldMineConfig,
+    IterationRecord,
+)
+from repro.formal import FormalVerifier
+from repro.hdl import Module, parse_module, parse_modules
+from repro.sim import (
+    DirectedStimulus,
+    RandomStimulus,
+    ReplayStimulus,
+    Simulator,
+    Trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assertion",
+    "ClosureResult",
+    "CoverageClosure",
+    "DirectedStimulus",
+    "FormalVerifier",
+    "GoldMine",
+    "GoldMineConfig",
+    "IterationRecord",
+    "Literal",
+    "Module",
+    "RandomStimulus",
+    "ReplayStimulus",
+    "Simulator",
+    "Trace",
+    "Verdict",
+    "__version__",
+    "parse_module",
+    "parse_modules",
+]

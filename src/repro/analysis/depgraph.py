@@ -1,0 +1,66 @@
+"""Signal dependency graphs.
+
+Two views are provided:
+
+* the *structural* graph has one edge per direct textual dependency
+  (a signal reads another signal in its driving expression), including
+  combinational intermediates;
+* the *dependency* graph is the flattened one-cycle view where only inputs
+  and registers appear as sources (combinational signals are inlined), the
+  form the cone-of-influence and mining-feature computations want.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.hdl.module import Module
+from repro.hdl.synth import SynthesizedModule, synthesize
+
+
+def structural_graph(module: Module) -> nx.DiGraph:
+    """Directed graph with an edge ``dep -> sig`` for every direct read."""
+    synth = synthesize(module)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(module.signals)
+    for name, expr in synth.comb.items():
+        for dependency in expr.signals():
+            graph.add_edge(dependency, name, kind="combinational")
+    for name, expr in synth.next_state.items():
+        for dependency in expr.signals():
+            graph.add_edge(dependency, name, kind="sequential")
+    return graph
+
+
+def dependency_graph(module: Module, synth: SynthesizedModule | None = None) -> nx.DiGraph:
+    """Flattened one-cycle dependency graph (sources are inputs/registers).
+
+    Edges carry ``kind='sequential'`` when the sink is a register (the
+    dependency crosses a clock edge) and ``kind='combinational'`` otherwise.
+    """
+    synth = synth or synthesize(module)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(module.signals)
+    for name in synth.comb:
+        for dependency in synth.support_of(name):
+            graph.add_edge(dependency, name, kind="combinational")
+    for name in synth.next_state:
+        for dependency in synth.support_of(name):
+            graph.add_edge(dependency, name, kind="sequential")
+    return graph
+
+
+def transitive_fanin(module: Module, signal: str) -> set[str]:
+    """Every signal that can (over any number of cycles) influence ``signal``."""
+    graph = dependency_graph(module)
+    if signal not in graph:
+        return set()
+    return set(nx.ancestors(graph, signal))
+
+
+def transitive_fanout(module: Module, signal: str) -> set[str]:
+    """Every signal that ``signal`` can (over any number of cycles) influence."""
+    graph = dependency_graph(module)
+    if signal not in graph:
+        return set()
+    return set(nx.descendants(graph, signal))

@@ -1,0 +1,22 @@
+"""Assertion objects produced by the A-Miner and checked by the verifier.
+
+An assertion is a bounded temporal implication: a conjunction of
+signal/value propositions at cycle offsets inside the mining window
+implies a proposition about the target output.  The package also provides
+LTL / SystemVerilog Assertion / PSL rendering and trace evaluation.
+"""
+
+from repro.assertions.assertion import Assertion, Literal, Verdict
+from repro.assertions.evaluate import assertion_holds_on_trace, count_matches
+from repro.assertions.render import to_ltl, to_psl, to_sva
+
+__all__ = [
+    "Assertion",
+    "Literal",
+    "Verdict",
+    "assertion_holds_on_trace",
+    "count_matches",
+    "to_ltl",
+    "to_psl",
+    "to_sva",
+]

@@ -1,0 +1,54 @@
+"""Evaluating assertions over recorded simulation traces.
+
+Used for three purposes:
+
+* sanity-checking that mined candidate assertions really do hold on the
+  trace data they were mined from (the 100 %-confidence rule),
+* measuring how often an assertion's antecedent fires in a trace
+  (its dynamic support), and
+* the assertion-based regression experiment (Table 2), where assertions
+  mined on the golden design are replayed against mutated designs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.assertions.assertion import Assertion
+from repro.sim.trace import Trace
+
+
+def _window_valuations(trace: Trace, start: int, span: int) -> dict[int, dict[str, int]]:
+    return {offset: trace.cycle(start + offset) for offset in range(span)}
+
+
+def assertion_holds_on_trace(assertion: Assertion, trace: Trace) -> bool:
+    """True when no window of ``trace`` violates the assertion."""
+    span = assertion.consequent.cycle + 1
+    if len(trace) < span:
+        return True
+    for start in range(len(trace) - span + 1):
+        valuations = _window_valuations(trace, start, span)
+        if not assertion.holds(valuations):
+            return False
+    return True
+
+
+def count_matches(assertion: Assertion, trace: Trace) -> tuple[int, int]:
+    """Return ``(antecedent_hits, violations)`` of the assertion on a trace."""
+    span = assertion.consequent.cycle + 1
+    hits = 0
+    violations = 0
+    for start in range(max(0, len(trace) - span + 1)):
+        valuations = _window_valuations(trace, start, span)
+        if assertion.antecedent_holds(valuations):
+            hits += 1
+            if not assertion.consequent.holds(valuations):
+                violations += 1
+    return hits, violations
+
+
+def violated_assertions(assertions: Iterable[Assertion], trace: Trace) -> list[Assertion]:
+    """Return the subset of ``assertions`` that fail somewhere on ``trace``."""
+    return [assertion for assertion in assertions
+            if not assertion_holds_on_trace(assertion, trace)]

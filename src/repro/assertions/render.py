@@ -1,0 +1,90 @@
+"""Rendering assertions as LTL, SystemVerilog Assertions (SVA) and PSL.
+
+The paper expresses mined assertions in LTL notation (``a ==> X X b``) and
+notes GoldMine "can produce SVA as well as PSL assertions"; these renderers
+provide all three text forms for the same :class:`Assertion` object.
+"""
+
+from __future__ import annotations
+
+from repro.assertions.assertion import Assertion, Literal
+
+
+def _proposition(literal: Literal, negate_zero: bool = True) -> str:
+    name = literal.signal if literal.bit is None else f"{literal.signal}[{literal.bit}]"
+    if literal.bit is not None or literal.value in (0, 1):
+        if literal.value == 1:
+            return name
+        if negate_zero:
+            return f"!{name}"
+        return f"{name} == 0"
+    return f"{name} == {literal.value}"
+
+
+def _next_prefix(cycles: int, symbol: str = "X ") -> str:
+    return symbol * cycles
+
+
+def to_ltl(assertion: Assertion) -> str:
+    """LTL-style rendering, e.g. ``req0 && X !req1 |-> X X gnt0``."""
+    if assertion.antecedent:
+        terms = []
+        for literal in sorted(assertion.antecedent, key=lambda l: (l.cycle, l.signal, l.bit or 0)):
+            terms.append(_next_prefix(literal.cycle) + _proposition(literal))
+        antecedent = " && ".join(terms)
+    else:
+        antecedent = "1"
+    consequent = _next_prefix(assertion.consequent.cycle) + _proposition(assertion.consequent)
+    return f"{antecedent} |-> {consequent}"
+
+
+def to_sva(assertion: Assertion, clock: str = "clk", reset: str | None = None) -> str:
+    """SystemVerilog Assertion property rendering.
+
+    Cycle offsets become ``##N`` delays; the result is a complete
+    ``assert property`` statement suitable for dropping into a testbench.
+    """
+    by_cycle: dict[int, list[str]] = {}
+    for literal in assertion.antecedent:
+        by_cycle.setdefault(literal.cycle, []).append(_proposition(literal))
+    if by_cycle:
+        cycles = sorted(by_cycle)
+        pieces = []
+        previous = cycles[0]
+        for index, cycle in enumerate(cycles):
+            conjunction = " && ".join(sorted(by_cycle[cycle]))
+            if index == 0:
+                pieces.append(f"({conjunction})")
+            else:
+                pieces.append(f"##{cycle - previous} ({conjunction})")
+            previous = cycle
+        antecedent = " ".join(pieces)
+        last_cycle = cycles[-1]
+    else:
+        antecedent = "(1)"
+        last_cycle = 0
+    delay = assertion.consequent.cycle - last_cycle
+    consequent = f"({_proposition(assertion.consequent)})"
+    implication = f"|-> ##{delay} {consequent}" if delay > 0 else f"|-> {consequent}"
+    disable = f" disable iff ({reset})" if reset else ""
+    name = assertion.name or "goldmine_assertion"
+    return (
+        f"{name}: assert property (@(posedge {clock}){disable} "
+        f"{antecedent} {implication});"
+    )
+
+
+def to_psl(assertion: Assertion, clock: str = "clk") -> str:
+    """PSL rendering using the ``next[N]`` operator family."""
+    terms = []
+    for literal in sorted(assertion.antecedent, key=lambda l: (l.cycle, l.signal, l.bit or 0)):
+        prop = _proposition(literal)
+        if literal.cycle > 0:
+            prop = f"next[{literal.cycle}] ({prop})"
+        terms.append(prop)
+    antecedent = " && ".join(terms) if terms else "true"
+    consequent = _proposition(assertion.consequent)
+    if assertion.consequent.cycle > 0:
+        consequent = f"next[{assertion.consequent.cycle}] ({consequent})"
+    name = assertion.name or "goldmine_assertion"
+    return f"property {name} = always (({antecedent}) -> {consequent}) @(posedge {clock});"

@@ -1,0 +1,49 @@
+"""Boolean reasoning substrates used by the formal verification engines.
+
+* :mod:`repro.boolean.expr` — Boolean expression nodes with light-weight
+  structural simplification.
+* :mod:`repro.boolean.bitblast` — word-level HDL expressions to per-bit
+  Boolean functions.
+* :mod:`repro.boolean.cnf` — clause databases and Tseitin transformation.
+* :mod:`repro.boolean.sat` — a CDCL SAT solver (watched literals, VSIDS,
+  first-UIP learning, restarts).
+* :mod:`repro.boolean.bdd` — a reduced ordered BDD package with the
+  operations symbolic reachability needs.
+"""
+
+from repro.boolean.bdd import BDD
+from repro.boolean.cnf import CnfBuilder, Clause
+from repro.boolean.expr import (
+    FALSE,
+    TRUE,
+    BoolExpr,
+    and_,
+    iff,
+    implies,
+    ite,
+    not_,
+    or_,
+    var,
+    xor_,
+)
+from repro.boolean.sat import SatResult, SatSolver, solve_expr
+
+__all__ = [
+    "BDD",
+    "BoolExpr",
+    "Clause",
+    "CnfBuilder",
+    "FALSE",
+    "SatResult",
+    "SatSolver",
+    "TRUE",
+    "and_",
+    "iff",
+    "implies",
+    "ite",
+    "not_",
+    "or_",
+    "solve_expr",
+    "var",
+    "xor_",
+]

@@ -1,0 +1,308 @@
+"""Bit-blasting: word-level HDL expressions to per-bit Boolean functions.
+
+The symbolic formal engines (SAT-based BMC, BDD reachability) operate on
+Boolean functions, while the HDL front end produces word-level
+expressions.  :class:`BitBlaster` bridges the two with semantics that match
+:meth:`repro.hdl.ast.Expr.evaluate` exactly (unsigned, two-value, results
+masked to the inferred width) — the test suite cross-checks the two
+interpretations on random expressions.
+
+Signal bits are obtained through a caller-supplied function so the same
+blaster serves two purposes:
+
+* fresh variables per signal bit (``sig[i]``) for single-cycle analysis,
+* previously computed bit vectors when unrolling a design over time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.boolean.expr import (
+    FALSE,
+    TRUE,
+    BoolExpr,
+    and_,
+    iff,
+    ite,
+    not_,
+    or_,
+    var,
+    xor_,
+)
+from repro.hdl.ast import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Const,
+    Expr,
+    PartSelect,
+    Ref,
+    Ternary,
+    UnaryOp,
+)
+
+#: Signature of the callback that supplies the bit vector of a signal.
+SignalBitsFn = Callable[[str], list[BoolExpr]]
+
+
+def default_bit_name(name: str, bit: int) -> str:
+    """Canonical Boolean-variable name for bit ``bit`` of signal ``name``."""
+    return f"{name}[{bit}]"
+
+
+def signal_variables(name: str, width: int) -> list[BoolExpr]:
+    """Fresh Boolean variables for every bit of a signal (LSB first)."""
+    return [var(default_bit_name(name, bit)) for bit in range(width)]
+
+
+class BitBlaster:
+    """Convert word-level expressions into LSB-first Boolean bit vectors."""
+
+    def __init__(self, width_of: Callable[[str], int],
+                 signal_bits: SignalBitsFn | None = None):
+        self._width_of = width_of
+        self._signal_bits = signal_bits or (
+            lambda name: signal_variables(name, width_of(name))
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def blast(self, expr: Expr, width: int | None = None) -> list[BoolExpr]:
+        """Return the bit vector of ``expr``; optionally resized to ``width``."""
+        bits = self._blast(expr)
+        if width is not None:
+            bits = _resize(bits, width)
+        return bits
+
+    def blast_bool(self, expr: Expr) -> BoolExpr:
+        """Return the truth value of ``expr`` (reduction-OR of its bits)."""
+        return or_(*self._blast(expr))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _width(self, expr: Expr) -> int:
+        return expr.width(_WidthContext(self._width_of))
+
+    def _signal(self, name: str) -> list[BoolExpr]:
+        bits = list(self._signal_bits(name))
+        return _resize(bits, self._width_of(name))
+
+    def _blast(self, expr: Expr) -> list[BoolExpr]:
+        if isinstance(expr, Const):
+            return [TRUE if (expr.value >> bit) & 1 else FALSE for bit in range(expr.bits)]
+        if isinstance(expr, Ref):
+            return self._signal(expr.name)
+        if isinstance(expr, BitSelect):
+            bits = self._signal(expr.name)
+            if expr.index < len(bits):
+                return [bits[expr.index]]
+            return [FALSE]
+        if isinstance(expr, PartSelect):
+            bits = self._signal(expr.name)
+            selected = []
+            for index in range(expr.lsb, expr.msb + 1):
+                selected.append(bits[index] if index < len(bits) else FALSE)
+            return selected
+        if isinstance(expr, UnaryOp):
+            return self._blast_unary(expr)
+        if isinstance(expr, BinaryOp):
+            return self._blast_binary(expr)
+        if isinstance(expr, Ternary):
+            width = self._width(expr)
+            cond = or_(*self._blast(expr.cond))
+            then_bits = self.blast(expr.then, width)
+            other_bits = self.blast(expr.other, width)
+            return [ite(cond, t, o) for t, o in zip(then_bits, other_bits)]
+        if isinstance(expr, Concat):
+            bits: list[BoolExpr] = []
+            for part in reversed(expr.parts):  # LSB-first assembly
+                bits.extend(self.blast(part, self._width(part)))
+            return bits
+        raise TypeError(f"cannot bit-blast expression of type {type(expr).__name__}")
+
+    def _blast_unary(self, expr: UnaryOp) -> list[BoolExpr]:
+        operand = self._blast(expr.operand)
+        if expr.op == "~":
+            return [not_(bit) for bit in operand]
+        if expr.op == "!":
+            return [not_(or_(*operand))]
+        if expr.op == "-":
+            # Two's complement: ~operand + 1 at the operand's width.
+            inverted = [not_(bit) for bit in operand]
+            return _adder(inverted, _constant_bits(1, len(operand)), len(operand))
+        if expr.op == "&":
+            return [and_(*operand)]
+        if expr.op == "|":
+            return [or_(*operand)]
+        if expr.op == "^":
+            result: BoolExpr = FALSE
+            for bit in operand:
+                result = xor_(result, bit)
+            return [result]
+        if expr.op == "~&":
+            return [not_(and_(*operand))]
+        if expr.op == "~|":
+            return [not_(or_(*operand))]
+        if expr.op == "~^":
+            result = FALSE
+            for bit in operand:
+                result = xor_(result, bit)
+            return [not_(result)]
+        raise TypeError(f"cannot bit-blast unary operator '{expr.op}'")
+
+    def _blast_binary(self, expr: BinaryOp) -> list[BoolExpr]:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = or_(*self._blast(expr.left))
+            right = or_(*self._blast(expr.right))
+            return [and_(left, right) if op == "&&" else or_(left, right)]
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return [self._compare(expr)]
+
+        width = self._width(expr)
+        if op in ("<<", ">>"):
+            return self._shift(expr, width)
+        left = self.blast(expr.left, width)
+        right = self.blast(expr.right, width)
+        if op == "&":
+            return [and_(l, r) for l, r in zip(left, right)]
+        if op == "|":
+            return [or_(l, r) for l, r in zip(left, right)]
+        if op == "^":
+            return [xor_(l, r) for l, r in zip(left, right)]
+        if op in ("~^", "^~"):
+            return [not_(xor_(l, r)) for l, r in zip(left, right)]
+        if op == "+":
+            return _adder(left, right, width)
+        if op == "-":
+            return _subtractor(left, right, width)
+        if op == "*":
+            return _multiplier(left, right, width)
+        raise TypeError(f"cannot bit-blast binary operator '{op}'")
+
+    def _compare(self, expr: BinaryOp) -> BoolExpr:
+        width = max(self._width(expr.left), self._width(expr.right))
+        left = self.blast(expr.left, width)
+        right = self.blast(expr.right, width)
+        equal = and_(*[iff(l, r) for l, r in zip(left, right)])
+        if expr.op == "==":
+            return equal
+        if expr.op == "!=":
+            return not_(equal)
+        less = _unsigned_less_than(left, right)
+        if expr.op == "<":
+            return less
+        if expr.op == ">=":
+            return not_(less)
+        greater = _unsigned_less_than(right, left)
+        if expr.op == ">":
+            return greater
+        if expr.op == "<=":
+            return not_(greater)
+        raise TypeError(f"unsupported comparison '{expr.op}'")
+
+    def _shift(self, expr: BinaryOp, width: int) -> list[BoolExpr]:
+        value = self.blast(expr.left, width)
+        if isinstance(expr.right, Const):
+            amount = expr.right.value
+            if expr.op == "<<":
+                shifted = [FALSE] * min(amount, width) + value
+                return shifted[:width]
+            shifted = value[amount:] + [FALSE] * min(amount, width)
+            return _resize(shifted, width)
+        # Barrel shifter over the shift-amount bits (capped so that any
+        # amount >= width produces zero).
+        amount_bits = self._blast(expr.right)
+        result = list(value)
+        for stage, amount_bit in enumerate(amount_bits):
+            distance = 1 << stage
+            if distance >= (1 << max(width, 1).bit_length()):
+                # Any set bit this high shifts everything out.
+                result = [ite(amount_bit, FALSE, bit) for bit in result]
+                continue
+            shifted: list[BoolExpr]
+            if expr.op == "<<":
+                shifted = ([FALSE] * min(distance, width) + result)[:width]
+            else:
+                shifted = result[distance:] + [FALSE] * min(distance, width)
+                shifted = _resize(shifted, width)
+            result = [ite(amount_bit, s, r) for s, r in zip(shifted, result)]
+        return result
+
+
+class _WidthContext:
+    """Adapter exposing only widths to :meth:`Expr.width`."""
+
+    def __init__(self, width_of: Callable[[str], int]):
+        self._width_of = width_of
+
+    def read(self, name: str) -> int:  # pragma: no cover - never used
+        raise RuntimeError("width context cannot read values")
+
+    def width_of(self, name: str) -> int:
+        return self._width_of(name)
+
+
+# ----------------------------------------------------------------------
+# bit-vector helpers
+# ----------------------------------------------------------------------
+def _resize(bits: Sequence[BoolExpr], width: int) -> list[BoolExpr]:
+    bits = list(bits)
+    if len(bits) < width:
+        return bits + [FALSE] * (width - len(bits))
+    return bits[:width]
+
+
+def _constant_bits(value: int, width: int) -> list[BoolExpr]:
+    return [TRUE if (value >> bit) & 1 else FALSE for bit in range(width)]
+
+
+def _adder(left: Sequence[BoolExpr], right: Sequence[BoolExpr], width: int) -> list[BoolExpr]:
+    """Ripple-carry adder; the final carry-out is discarded (modulo 2^width)."""
+    result: list[BoolExpr] = []
+    carry: BoolExpr = FALSE
+    for index in range(width):
+        a = left[index] if index < len(left) else FALSE
+        b = right[index] if index < len(right) else FALSE
+        total = xor_(xor_(a, b), carry)
+        carry = or_(and_(a, b), and_(carry, xor_(a, b)))
+        result.append(total)
+    return result
+
+
+def _subtractor(left: Sequence[BoolExpr], right: Sequence[BoolExpr], width: int) -> list[BoolExpr]:
+    """left - right = left + ~right + 1 (two's complement)."""
+    inverted = [not_(right[index]) if index < len(right) else TRUE for index in range(width)]
+    result: list[BoolExpr] = []
+    carry: BoolExpr = TRUE
+    for index in range(width):
+        a = left[index] if index < len(left) else FALSE
+        b = inverted[index]
+        total = xor_(xor_(a, b), carry)
+        carry = or_(and_(a, b), and_(carry, xor_(a, b)))
+        result.append(total)
+    return result
+
+
+def _multiplier(left: Sequence[BoolExpr], right: Sequence[BoolExpr], width: int) -> list[BoolExpr]:
+    """Shift-and-add multiplier truncated to ``width`` bits."""
+    accumulator = _constant_bits(0, width)
+    for shift in range(min(width, len(right))):
+        partial = [FALSE] * shift + [
+            and_(right[shift], left[index]) if index < len(left) else FALSE
+            for index in range(width - shift)
+        ]
+        accumulator = _adder(accumulator, partial, width)
+    return accumulator
+
+
+def _unsigned_less_than(left: Sequence[BoolExpr], right: Sequence[BoolExpr]) -> BoolExpr:
+    """Unsigned comparison from the most significant bit downwards."""
+    result: BoolExpr = FALSE
+    for a, b in zip(left, right):  # LSB to MSB, folding from below
+        # less = (a < b) | (a == b) & less_so_far
+        result = or_(and_(not_(a), b), and_(iff(a, b), result))
+    return result

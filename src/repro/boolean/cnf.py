@@ -1,0 +1,143 @@
+"""Clause databases and Tseitin transformation of Boolean expressions.
+
+Literals follow the DIMACS convention: variables are positive integers and
+a negative literal denotes negation.  :class:`CnfBuilder` assigns solver
+variables to named Boolean variables on demand and introduces fresh
+auxiliary variables for internal expression nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.boolean.expr import (
+    BAnd,
+    BConst,
+    BIte,
+    BNot,
+    BOr,
+    BVar,
+    BXor,
+    BoolExpr,
+)
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class CnfBuilder:
+    """Accumulates clauses and maps named variables to DIMACS indices."""
+
+    clauses: list[Clause] = field(default_factory=list)
+    _name_to_var: dict[str, int] = field(default_factory=dict)
+    _var_to_name: dict[int, str] = field(default_factory=dict)
+    _next_var: int = 1
+    _cache: dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def variable_count(self) -> int:
+        return self._next_var - 1
+
+    @property
+    def names(self) -> Mapping[str, int]:
+        return dict(self._name_to_var)
+
+    def variable(self, name: str) -> int:
+        """Return the solver variable for the named Boolean variable."""
+        if name not in self._name_to_var:
+            index = self._allocate()
+            self._name_to_var[name] = index
+            self._var_to_name[index] = name
+        return self._name_to_var[name]
+
+    def name_of(self, variable: int) -> str | None:
+        return self._var_to_name.get(variable)
+
+    def fresh(self) -> int:
+        """Allocate an anonymous auxiliary variable."""
+        return self._allocate()
+
+    def _allocate(self) -> int:
+        index = self._next_var
+        self._next_var += 1
+        return index
+
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise ValueError("empty clause added (formula is trivially unsatisfiable)")
+        self.clauses.append(clause)
+
+    def assert_literal(self, literal: int) -> None:
+        self.add_clause((literal,))
+
+    def assert_expr(self, expr: BoolExpr) -> None:
+        """Constrain ``expr`` to be true."""
+        self.assert_literal(self.encode(expr))
+
+    # ------------------------------------------------------------------
+    def encode(self, expr: BoolExpr) -> int:
+        """Tseitin-encode ``expr`` and return the literal equal to it."""
+        if isinstance(expr, BConst):
+            # Encode constants via a dedicated always-true variable.
+            true_var = self.variable("__true__")
+            if not getattr(self, "_true_asserted", False):
+                self.assert_literal(true_var)
+                self._true_asserted = True
+            return true_var if expr.value else -true_var
+        if isinstance(expr, BVar):
+            return self.variable(expr.name)
+        if isinstance(expr, BNot):
+            return -self.encode(expr.operand)
+
+        key = id(expr)
+        if key in self._cache:
+            return self._cache[key]
+
+        if isinstance(expr, BAnd):
+            literals = [self.encode(op) for op in expr.operands]
+            output = self.fresh()
+            for literal in literals:
+                self.add_clause((-output, literal))
+            self.add_clause(tuple(-lit for lit in literals) + (output,))
+        elif isinstance(expr, BOr):
+            literals = [self.encode(op) for op in expr.operands]
+            output = self.fresh()
+            for literal in literals:
+                self.add_clause((-literal, output))
+            self.add_clause(tuple(literals) + (-output,))
+        elif isinstance(expr, BXor):
+            left = self.encode(expr.left)
+            right = self.encode(expr.right)
+            output = self.fresh()
+            self.add_clause((-output, left, right))
+            self.add_clause((-output, -left, -right))
+            self.add_clause((output, -left, right))
+            self.add_clause((output, left, -right))
+        elif isinstance(expr, BIte):
+            cond = self.encode(expr.cond)
+            then = self.encode(expr.then)
+            other = self.encode(expr.other)
+            output = self.fresh()
+            self.add_clause((-cond, -then, output))
+            self.add_clause((-cond, then, -output))
+            self.add_clause((cond, -other, output))
+            self.add_clause((cond, other, -output))
+        else:  # pragma: no cover - exhaustive over node types
+            raise TypeError(f"cannot encode expression of type {type(expr).__name__}")
+
+        self._cache[key] = output
+        return output
+
+    # ------------------------------------------------------------------
+    def decode_model(self, model: Mapping[int, bool]) -> dict[str, bool]:
+        """Translate a solver model back to named variable values."""
+        result: dict[str, bool] = {}
+        for name, variable in self._name_to_var.items():
+            if name == "__true__":
+                continue
+            result[name] = bool(model.get(variable, False))
+        return result

@@ -1,0 +1,280 @@
+"""Boolean expression DAG with hash-consing-free structural simplification.
+
+These nodes sit below the word-level HDL AST: bit-blasting produces them,
+the Tseitin encoder consumes them for SAT, and the BDD engine builds BDDs
+from them.  Constructors (`and_`, `or_`, `not_`, ...) apply cheap local
+simplifications (constant folding, involution, duplicate absorption) so the
+downstream encodings stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class BoolExpr:
+    """Base class for Boolean expressions."""
+
+    __slots__ = ()
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def support(self) -> set[str]:
+        return set(self.iter_vars())
+
+    def iter_vars(self) -> Iterator[str]:
+        for child in self.children():
+            yield from child.iter_vars()
+
+    def children(self) -> Sequence["BoolExpr"]:
+        return ()
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return and_(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return or_(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return not_(self)
+
+    def __xor__(self, other: "BoolExpr") -> "BoolExpr":
+        return xor_(self, other)
+
+
+@dataclass(frozen=True)
+class BConst(BoolExpr):
+    """Boolean constant."""
+
+    value: bool
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+@dataclass(frozen=True)
+class BVar(BoolExpr):
+    """A named Boolean variable."""
+
+    name: str
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return bool(assignment[self.name])
+
+    def iter_vars(self) -> Iterator[str]:
+        yield self.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class BNot(BoolExpr):
+    """Negation."""
+
+    operand: BoolExpr
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def children(self) -> Sequence[BoolExpr]:
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class BAnd(BoolExpr):
+    """N-ary conjunction."""
+
+    operands: tuple[BoolExpr, ...]
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return all(operand.evaluate(assignment) for operand in self.operands)
+
+    def children(self) -> Sequence[BoolExpr]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class BOr(BoolExpr):
+    """N-ary disjunction."""
+
+    operands: tuple[BoolExpr, ...]
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return any(operand.evaluate(assignment) for operand in self.operands)
+
+    def children(self) -> Sequence[BoolExpr]:
+        return self.operands
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class BXor(BoolExpr):
+    """Binary exclusive-or."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        return self.left.evaluate(assignment) != self.right.evaluate(assignment)
+
+    def children(self) -> Sequence[BoolExpr]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ^ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class BIte(BoolExpr):
+    """If-then-else (multiplexer) node."""
+
+    cond: BoolExpr
+    then: BoolExpr
+    other: BoolExpr
+
+    def evaluate(self, assignment: Mapping[str, bool]) -> bool:
+        if self.cond.evaluate(assignment):
+            return self.then.evaluate(assignment)
+        return self.other.evaluate(assignment)
+
+    def children(self) -> Sequence[BoolExpr]:
+        return (self.cond, self.then, self.other)
+
+    def __repr__(self) -> str:
+        return f"ite({self.cond!r}, {self.then!r}, {self.other!r})"
+
+
+TRUE = BConst(True)
+FALSE = BConst(False)
+
+
+def var(name: str) -> BVar:
+    """Create (or reference) the Boolean variable ``name``."""
+    return BVar(name)
+
+
+def const(value: bool) -> BConst:
+    return TRUE if value else FALSE
+
+
+def not_(operand: BoolExpr) -> BoolExpr:
+    """Simplifying negation."""
+    if isinstance(operand, BConst):
+        return const(not operand.value)
+    if isinstance(operand, BNot):
+        return operand.operand
+    return BNot(operand)
+
+
+def and_(*operands: BoolExpr) -> BoolExpr:
+    """Simplifying n-ary conjunction (flattens nested ANDs)."""
+    flat: list[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, BConst):
+            if not operand.value:
+                return FALSE
+            continue
+        if isinstance(operand, BAnd):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    unique: list[BoolExpr] = []
+    for operand in flat:
+        if operand not in unique:
+            unique.append(operand)
+    for operand in unique:
+        if not_(operand) in unique:
+            return FALSE
+    if not unique:
+        return TRUE
+    if len(unique) == 1:
+        return unique[0]
+    return BAnd(tuple(unique))
+
+
+def or_(*operands: BoolExpr) -> BoolExpr:
+    """Simplifying n-ary disjunction (flattens nested ORs)."""
+    flat: list[BoolExpr] = []
+    for operand in operands:
+        if isinstance(operand, BConst):
+            if operand.value:
+                return TRUE
+            continue
+        if isinstance(operand, BOr):
+            flat.extend(operand.operands)
+        else:
+            flat.append(operand)
+    unique: list[BoolExpr] = []
+    for operand in flat:
+        if operand not in unique:
+            unique.append(operand)
+    for operand in unique:
+        if not_(operand) in unique:
+            return TRUE
+    if not unique:
+        return FALSE
+    if len(unique) == 1:
+        return unique[0]
+    return BOr(tuple(unique))
+
+
+def xor_(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    """Simplifying exclusive-or."""
+    if isinstance(left, BConst):
+        return not_(right) if left.value else right
+    if isinstance(right, BConst):
+        return not_(left) if right.value else left
+    if left == right:
+        return FALSE
+    if left == not_(right):
+        return TRUE
+    return BXor(left, right)
+
+
+def ite(cond: BoolExpr, then: BoolExpr, other: BoolExpr) -> BoolExpr:
+    """Simplifying if-then-else."""
+    if isinstance(cond, BConst):
+        return then if cond.value else other
+    if then == other:
+        return then
+    if isinstance(then, BConst) and isinstance(other, BConst):
+        return cond if then.value else not_(cond)
+    if isinstance(then, BConst):
+        # ite(c, 1, e) = c | e ; ite(c, 0, e) = ~c & e
+        return or_(cond, other) if then.value else and_(not_(cond), other)
+    if isinstance(other, BConst):
+        # ite(c, t, 1) = ~c | t ; ite(c, t, 0) = c & t
+        return or_(not_(cond), then) if other.value else and_(cond, then)
+    return BIte(cond, then, other)
+
+
+def implies(antecedent: BoolExpr, consequent: BoolExpr) -> BoolExpr:
+    """Logical implication."""
+    return or_(not_(antecedent), consequent)
+
+
+def iff(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    """Logical equivalence."""
+    return not_(xor_(left, right))
+
+
+def conjoin_all(operands: Iterable[BoolExpr]) -> BoolExpr:
+    return and_(*list(operands))
+
+
+def disjoin_all(operands: Iterable[BoolExpr]) -> BoolExpr:
+    return or_(*list(operands))

@@ -1,0 +1,394 @@
+"""A CDCL SAT solver.
+
+Implements the standard conflict-driven clause learning loop:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style activity-based decision heuristics with periodic decay,
+* Luby-sequence restarts,
+* learned-clause database reduction by activity.
+
+The solver is deliberately self-contained (no numpy) and is sized for the
+bounded-model-checking instances produced by unrolling the bundled designs
+(hundreds to a few tens of thousands of variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.boolean.cnf import Clause, CnfBuilder
+from repro.boolean.expr import BoolExpr
+
+
+@dataclass
+class SatResult:
+    """Outcome of a SAT query."""
+
+    satisfiable: bool
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfiable
+
+
+class _ClauseRef:
+    """Mutable clause container used internally by the solver."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: list[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class SatSolver:
+    """CDCL solver over integer literals (DIMACS convention)."""
+
+    def __init__(self, clauses: Iterable[Clause] = (), variable_count: int = 0):
+        self._clauses: list[_ClauseRef] = []
+        self._watches: dict[int, list[_ClauseRef]] = {}
+        self._assignment: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, _ClauseRef | None] = {}
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._activity: dict[int, float] = {}
+        self._var_increment = 1.0
+        self._clause_increment = 1.0
+        self._variables: set[int] = set()
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        for clause in clauses:
+            self.add_clause(clause)
+        for variable in range(1, variable_count + 1):
+            self._variables.add(variable)
+            self._activity.setdefault(variable, 0.0)
+
+    # ------------------------------------------------------------------
+    # clause management
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Sequence[int]) -> None:
+        unique = []
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("literal 0 is not allowed")
+            if -literal in unique:
+                return  # tautology
+            if literal not in unique:
+                unique.append(literal)
+        for literal in unique:
+            self._variables.add(abs(literal))
+            self._activity.setdefault(abs(literal), 0.0)
+        clause = _ClauseRef(list(unique))
+        self._clauses.append(clause)
+        if len(unique) >= 2:
+            self._watch(clause, unique[0])
+            self._watch(clause, unique[1])
+
+    def _watch(self, clause: _ClauseRef, literal: int) -> None:
+        self._watches.setdefault(literal, []).append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> bool | None:
+        assigned = self._assignment.get(abs(literal))
+        if assigned is None:
+            return None
+        return assigned if literal > 0 else not assigned
+
+    def _assign(self, literal: int, reason: _ClauseRef | None) -> None:
+        variable = abs(literal)
+        self._assignment[variable] = literal > 0
+        self._level[variable] = len(self._trail_limits)
+        self._reason[variable] = reason
+        self._trail.append(literal)
+
+    def _unassign_to(self, level: int) -> None:
+        target = self._trail_limits[level]
+        while len(self._trail) > target:
+            literal = self._trail.pop()
+            variable = abs(literal)
+            del self._assignment[variable]
+            del self._level[variable]
+            del self._reason[variable]
+        del self._trail_limits[level:]
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> _ClauseRef | None:
+        index = len(self._trail) - 1 if self._trail else 0
+        queue_start = getattr(self, "_queue_head", 0)
+        head = queue_start
+        while head < len(self._trail):
+            literal = self._trail[head]
+            head += 1
+            false_literal = -literal
+            watching = self._watches.get(false_literal, [])
+            keep: list[_ClauseRef] = []
+            conflict: _ClauseRef | None = None
+            position = 0
+            while position < len(watching):
+                clause = watching[position]
+                position += 1
+                if conflict is not None:
+                    keep.append(clause)
+                    continue
+                literals = clause.literals
+                # Ensure the false literal is in slot 1.
+                if literals[0] == false_literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._value(first) is True:
+                    keep.append(clause)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for slot in range(2, len(literals)):
+                    if self._value(literals[slot]) is not False:
+                        literals[1], literals[slot] = literals[slot], literals[1]
+                        self._watch(clause, literals[1])
+                        found = True
+                        break
+                if found:
+                    continue
+                keep.append(clause)
+                if self._value(first) is False:
+                    conflict = clause
+                else:
+                    self._assign(first, clause)
+                    self.propagations += 1
+            self._watches[false_literal] = keep
+            if conflict is not None:
+                self._queue_head = len(self._trail)
+                return conflict
+        self._queue_head = head
+        _ = index
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: _ClauseRef) -> tuple[list[int], int]:
+        current_level = len(self._trail_limits)
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        literal: int | None = None
+        clause = conflict
+        trail_index = len(self._trail) - 1
+
+        while True:
+            for clause_literal in clause.literals:
+                if literal is not None and abs(clause_literal) == abs(literal):
+                    continue
+                variable = abs(clause_literal)
+                if variable in seen:
+                    continue
+                if self._level.get(variable, 0) == 0:
+                    continue
+                seen.add(variable)
+                self._bump_variable(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next literal on the trail to resolve on.
+            while trail_index >= 0 and abs(self._trail[trail_index]) not in seen:
+                trail_index -= 1
+            if trail_index < 0:
+                break
+            literal = self._trail[trail_index]
+            variable = abs(literal)
+            seen.discard(variable)
+            counter -= 1
+            trail_index -= 1
+            if counter <= 0:
+                learned.insert(0, -literal)
+                break
+            reason = self._reason.get(variable)
+            if reason is None:
+                break
+            clause = reason
+
+        if not learned:
+            return [], -1
+
+        if len(learned) == 1:
+            return learned, 0
+        # Keep the asserting literal first and a literal from the backjump
+        # level second so the clause watches stay well positioned.
+        rest = sorted(learned[1:], key=lambda lit: -self._level[abs(lit)])
+        learned = [learned[0]] + rest
+        backjump_level = self._level[abs(learned[1])]
+        return learned, backjump_level
+
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] = self._activity.get(variable, 0.0) + self._var_increment
+        if self._activity[variable] > 1e100:
+            for key in self._activity:
+                self._activity[key] *= 1e-100
+            self._var_increment *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._var_increment /= 0.95
+
+    # ------------------------------------------------------------------
+    # decisions and restarts
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> int | None:
+        best_variable: int | None = None
+        best_activity = -1.0
+        for variable in self._variables:
+            if variable in self._assignment:
+                continue
+            activity = self._activity.get(variable, 0.0)
+            if activity > best_activity:
+                best_activity = activity
+                best_variable = variable
+        return best_variable
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """Return the ``index``-th element of the Luby restart sequence."""
+        k = 1
+        while (1 << (k + 1)) - 1 <= index:
+            k += 1
+        while (1 << k) - 1 != index + 1:
+            index = index - (1 << (k - 1)) + 1
+            k = 1
+            while (1 << (k + 1)) - 1 <= index:
+                k += 1
+        return 1 << (k - 1)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve the current clause database under optional assumptions."""
+        self._queue_head = 0
+        # Handle unit clauses at level 0.
+        for clause in list(self._clauses):
+            if len(clause.literals) == 1:
+                literal = clause.literals[0]
+                value = self._value(literal)
+                if value is False:
+                    return SatResult(False, conflicts=self.conflicts,
+                                     decisions=self.decisions, propagations=self.propagations)
+                if value is None:
+                    self._assign(literal, None)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._reset()
+            return SatResult(False, conflicts=self.conflicts,
+                             decisions=self.decisions, propagations=self.propagations)
+
+        for literal in assumptions:
+            value = self._value(literal)
+            if value is False:
+                self._reset()
+                return SatResult(False, conflicts=self.conflicts,
+                                 decisions=self.decisions, propagations=self.propagations)
+            if value is None:
+                self._trail_limits.append(len(self._trail))
+                self._assign(literal, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._reset()
+                    return SatResult(False, conflicts=self.conflicts,
+                                     decisions=self.decisions, propagations=self.propagations)
+
+        assumption_levels = len(self._trail_limits)
+        restart_count = 0
+        conflicts_until_restart = 32 * self._luby(restart_count)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if len(self._trail_limits) <= assumption_levels:
+                    self._reset()
+                    return SatResult(False, conflicts=self.conflicts,
+                                     decisions=self.decisions, propagations=self.propagations)
+                learned, backjump_level = self._analyze(conflict)
+                if not learned or backjump_level < 0:
+                    self._reset()
+                    return SatResult(False, conflicts=self.conflicts,
+                                     decisions=self.decisions, propagations=self.propagations)
+                backjump_level = max(backjump_level, assumption_levels)
+                self._unassign_to(backjump_level)
+                self._queue_head = len(self._trail)
+                learned_clause = _ClauseRef(list(learned), learned=True)
+                self._clauses.append(learned_clause)
+                if len(learned) >= 2:
+                    self._watch(learned_clause, learned[0])
+                    self._watch(learned_clause, learned[1])
+                value = self._value(learned[0])
+                if value is None:
+                    self._assign(learned[0], learned_clause if len(learned) > 1 else None)
+                elif value is False:
+                    self._reset()
+                    return SatResult(False, conflicts=self.conflicts,
+                                     decisions=self.decisions, propagations=self.propagations)
+                self._decay_activities()
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                restart_count += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = 32 * self._luby(restart_count)
+                self._unassign_to(assumption_levels)
+                self._queue_head = len(self._trail)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = dict(self._assignment)
+                self._reset()
+                return SatResult(True, model=model, conflicts=self.conflicts,
+                                 decisions=self.decisions, propagations=self.propagations)
+            self.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            # Phase saving could go here; default to False first which tends
+            # to work well for BMC instances dominated by control logic.
+            self._assign(-variable, None)
+
+    def _reset(self) -> None:
+        self._assignment.clear()
+        self._level.clear()
+        self._reason.clear()
+        self._trail.clear()
+        self._trail_limits.clear()
+        self._queue_head = 0
+
+
+def solve_clauses(clauses: Iterable[Clause], variable_count: int = 0,
+                  assumptions: Sequence[int] = ()) -> SatResult:
+    """One-shot convenience wrapper over :class:`SatSolver`."""
+    solver = SatSolver(clauses, variable_count)
+    return solver.solve(assumptions)
+
+
+def solve_expr(expr: BoolExpr) -> tuple[SatResult, dict[str, bool]]:
+    """Check satisfiability of a Boolean expression.
+
+    Returns the raw :class:`SatResult` plus the named-variable model
+    (empty when unsatisfiable).
+    """
+    builder = CnfBuilder()
+    builder.assert_expr(expr)
+    result = solve_clauses(builder.clauses, builder.variable_count)
+    if not result.satisfiable:
+        return result, {}
+    return result, builder.decode_model(result.model)

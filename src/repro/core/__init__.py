@@ -1,0 +1,27 @@
+"""The paper's core contribution: GoldMine + counterexample-guided refinement.
+
+* :mod:`repro.core.config` — knobs shared by the engine and the loop.
+* :mod:`repro.core.goldmine` — the GoldMine engine of the original DATE'10
+  tool (data generator, static analyzer, A-Miner, formal verifier) used as
+  a single mining pass.
+* :mod:`repro.core.refinement` — this paper's counterexample-guided
+  iterative refinement producing validation stimulus and a final decision
+  tree per output (coverage closure).
+* :mod:`repro.core.results` — per-iteration records and run summaries.
+"""
+
+from repro.core.config import GoldMineConfig
+from repro.core.goldmine import GoldMine, MiningReport
+from repro.core.refinement import CoverageClosure, OutputContext
+from repro.core.results import ClosureResult, IterationRecord, TestSequence
+
+__all__ = [
+    "ClosureResult",
+    "CoverageClosure",
+    "GoldMine",
+    "GoldMineConfig",
+    "IterationRecord",
+    "MiningReport",
+    "OutputContext",
+    "TestSequence",
+]

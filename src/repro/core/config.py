@@ -1,0 +1,48 @@
+"""Configuration shared by the GoldMine engine and the refinement loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass
+class GoldMineConfig:
+    """Tuning knobs for mining and refinement.
+
+    Attributes mirror the concepts discussed in the paper:
+
+    * ``window`` — the mining window length (Section 2.1): the number of
+      observed cycles an assertion's antecedent may span.
+    * ``max_depth`` — optional cap on decision-tree depth, i.e. on the
+      number of propositions per assertion ("incremental refinement only
+      applied up to a certain depth", Section 7.1).
+    * ``include_internal_state`` — whether registers/internal signals are
+      visible to the miner (Section 3.1's "flat single-cycle picture").
+    * ``engine`` — formal back end: ``explicit`` (exact, default), ``bmc``
+      or ``bdd``.
+    * ``max_iterations`` — safety bound on counterexample iterations.
+    * ``random_cycles`` / ``random_seed`` — the data generator's random
+      stimulus phase (Section 2.1 simulates "a fixed number of cycles using
+      random input patterns").
+    """
+
+    window: int = 1
+    max_depth: int | None = None
+    include_internal_state: bool = True
+    engine: str = "explicit"
+    bound: int = 10
+    max_iterations: int = 64
+    random_cycles: int = 0
+    random_seed: int = 0
+    input_bias: Mapping[str, float] = field(default_factory=dict)
+    max_states: int = 50_000
+    max_input_combinations: int = 4_096
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if self.random_cycles < 0:
+            raise ValueError("random_cycles cannot be negative")

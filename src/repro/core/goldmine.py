@@ -1,0 +1,153 @@
+"""The GoldMine engine: one mining pass over simulation data.
+
+This is the DATE'10 GoldMine flow the paper builds on (its Figure 1):
+
+1. *Data generator* — simulate the design with random patterns (or a
+   user-supplied directed test) and record the trace.
+2. *Static analyzer* — restrict the feature space to the target output's
+   logic cone.
+3. *A-Miner* — build a decision tree over the windowed trace data and read
+   100 %-confidence candidate assertions off its pure leaves.
+4. *Formal verifier* — model-check every candidate; survivors are system
+   invariants, failures produce counterexample traces.
+
+The counterexample feedback loop that is this paper's contribution lives
+in :mod:`repro.core.refinement`; :class:`GoldMine` is also used stand-alone
+by the fault-injection regression experiment (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.assertions.assertion import Assertion
+from repro.core.config import GoldMineConfig
+from repro.core.results import MiningSummary
+from repro.formal.checker import FormalVerifier
+from repro.formal.result import CheckResult
+from repro.hdl.module import Module
+from repro.hdl.synth import SynthesizedModule, synthesize
+from repro.mining.dataset import MiningDataset
+from repro.mining.decision_tree import DecisionTree
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import RandomStimulus, Stimulus
+from repro.sim.trace import Trace
+
+
+@dataclass
+class MiningReport:
+    """Every output's mining summary for one GoldMine pass."""
+
+    module_name: str
+    summaries: dict[str, MiningSummary] = field(default_factory=dict)
+
+    @property
+    def true_assertions(self) -> list[Assertion]:
+        result: list[Assertion] = []
+        for summary in self.summaries.values():
+            result.extend(summary.true_assertions)
+        return result
+
+    @property
+    def candidate_count(self) -> int:
+        return sum(len(summary.candidates) for summary in self.summaries.values())
+
+
+class GoldMine:
+    """Single-pass assertion mining engine."""
+
+    def __init__(self, module: Module, config: GoldMineConfig | None = None,
+                 verifier: FormalVerifier | None = None):
+        module.validate()
+        self.module = module
+        self.config = config or GoldMineConfig()
+        self.synth: SynthesizedModule = synthesize(module)
+        self.verifier = verifier or FormalVerifier(
+            module,
+            engine=self.config.engine,
+            bound=self.config.bound,
+            max_states=self.config.max_states,
+            max_input_combinations=self.config.max_input_combinations,
+        )
+
+    # ------------------------------------------------------------------
+    # data generator
+    # ------------------------------------------------------------------
+    def generate_data(self, stimulus: Stimulus | None = None) -> Trace:
+        """Simulate the design and return the trace (GoldMine's data generator)."""
+        if stimulus is None:
+            cycles = self.config.random_cycles or 64
+            stimulus = RandomStimulus(cycles, seed=self.config.random_seed,
+                                      bias=self.config.input_bias)
+        simulator = Simulator(self.module)
+        return simulator.run(stimulus)
+
+    # ------------------------------------------------------------------
+    # target enumeration
+    # ------------------------------------------------------------------
+    def target_outputs(self, outputs: Sequence[str] | None = None) -> list[tuple[str, int | None]]:
+        """Expand the requested outputs into (signal, bit) mining targets."""
+        names = list(outputs) if outputs is not None else list(self.module.output_names)
+        targets: list[tuple[str, int | None]] = []
+        for name in names:
+            width = self.module.width_of(name)
+            if width == 1:
+                targets.append((name, None))
+            else:
+                targets.extend((name, bit) for bit in range(width))
+        return targets
+
+    @staticmethod
+    def target_label(output: str, bit: int | None) -> str:
+        return output if bit is None else f"{output}[{bit}]"
+
+    # ------------------------------------------------------------------
+    # mining
+    # ------------------------------------------------------------------
+    def build_dataset(self, output: str, bit: int | None = None) -> MiningDataset:
+        return MiningDataset(
+            self.module,
+            output,
+            window=self.config.window,
+            output_bit=bit,
+            include_internal_state=self.config.include_internal_state,
+            synth=self.synth,
+        )
+
+    def mine_output(self, output: str, traces: Iterable[Trace],
+                    bit: int | None = None) -> MiningSummary:
+        """Run A-Miner + formal verification for one output bit."""
+        dataset = self.build_dataset(output, bit)
+        for trace in traces:
+            dataset.add_trace(trace)
+        tree = DecisionTree(dataset, max_depth=self.config.max_depth)
+        tree.build()
+        candidates = tree.candidate_assertions()
+        summary = MiningSummary(self.module.name, self.target_label(output, bit),
+                                candidates=candidates)
+        for candidate in candidates:
+            result: CheckResult = self.verifier.check(candidate)
+            if result.is_true:
+                summary.true_assertions.append(candidate)
+            else:
+                summary.false_assertions.append(candidate)
+        return summary
+
+    def mine(self, traces: Iterable[Trace] | None = None,
+             outputs: Sequence[str] | None = None,
+             stimulus: Stimulus | None = None) -> MiningReport:
+        """Mine assertions for every requested output from the given traces.
+
+        When ``traces`` is omitted, the data generator produces a random
+        trace first (``stimulus`` overrides the random default).
+        """
+        if traces is None:
+            traces = [self.generate_data(stimulus)]
+        else:
+            traces = list(traces)
+        report = MiningReport(self.module.name)
+        for output, bit in self.target_outputs(outputs):
+            label = self.target_label(output, bit)
+            report.summaries[label] = self.mine_output(output, traces, bit)
+        return report

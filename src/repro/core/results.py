@@ -1,0 +1,135 @@
+"""Result records produced by mining and refinement runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.assertions.assertion import Assertion, combined_input_space_coverage
+
+#: A test sequence is a list of per-cycle input assignments applied from reset.
+TestSequence = list[dict[str, int]]
+
+
+@dataclass
+class IterationRecord:
+    """What happened during one counterexample iteration.
+
+    Iteration 0 describes the seed test suite: candidates mined from the
+    initial stimulus and their verdicts, before any counterexample has been
+    folded back in.
+    """
+
+    iteration: int
+    candidates_checked: int = 0
+    new_true_assertions: list[Assertion] = field(default_factory=list)
+    failed_assertions: list[Assertion] = field(default_factory=list)
+    counterexamples: int = 0
+    cumulative_true_assertions: int = 0
+    cumulative_test_cycles: int = 0
+    input_space_coverage: dict[str, float] = field(default_factory=dict)
+    extra_metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_input_space_coverage(self) -> float:
+        if not self.input_space_coverage:
+            return 0.0
+        return sum(self.input_space_coverage.values()) / len(self.input_space_coverage)
+
+
+@dataclass
+class ClosureResult:
+    """Summary of one coverage-closure run (the algorithm's tangible outputs).
+
+    Per the paper, "the full set of correct assertions, plus the new test
+    patterns created from counterexamples during iterations comprise the
+    tangible outputs of the algorithm".
+    """
+
+    module_name: str
+    outputs: list[str]
+    converged: bool
+    iterations: list[IterationRecord] = field(default_factory=list)
+    true_assertions: dict[str, list[Assertion]] = field(default_factory=dict)
+    test_suite: list[TestSequence] = field(default_factory=list)
+    formal_checks: int = 0
+    formal_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def iteration_count(self) -> int:
+        """Number of counterexample iterations performed (excludes the seed pass)."""
+        return max(0, len(self.iterations) - 1)
+
+    @property
+    def all_true_assertions(self) -> list[Assertion]:
+        result: list[Assertion] = []
+        for assertions in self.true_assertions.values():
+            result.extend(assertions)
+        return result
+
+    def assertions_for(self, output: str) -> list[Assertion]:
+        return list(self.true_assertions.get(output, []))
+
+    def input_space_coverage(self, output: str | None = None) -> float:
+        """Output-centric coverage: fraction of the input space covered by
+        true assertions (Section 7.1)."""
+        if output is not None:
+            return combined_input_space_coverage(self.true_assertions.get(output, []))
+        if not self.true_assertions:
+            return 0.0
+        values = [combined_input_space_coverage(assertions)
+                  for assertions in self.true_assertions.values()]
+        return sum(values) / len(values)
+
+    def total_test_cycles(self) -> int:
+        return sum(len(sequence) for sequence in self.test_suite)
+
+    def coverage_by_iteration(self, output: str | None = None) -> list[float]:
+        """Input-space coverage after each iteration (Fig. 13 / Table 1 series)."""
+        series = []
+        for record in self.iterations:
+            if output is not None:
+                series.append(record.input_space_coverage.get(output, 0.0))
+            else:
+                series.append(record.mean_input_space_coverage)
+        return series
+
+    def summary_table(self) -> str:
+        """Render a per-iteration summary similar to the paper's Figure 12."""
+        lines = ["iter  checked  new_true  failed  ctx  input_space%"]
+        for record in self.iterations:
+            lines.append(
+                f"{record.iteration:>4}  {record.candidates_checked:>7}  "
+                f"{len(record.new_true_assertions):>8}  {len(record.failed_assertions):>6}  "
+                f"{record.counterexamples:>3}  {100 * record.mean_input_space_coverage:>11.2f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class MiningSummary:
+    """Summary of a single (non-iterative) GoldMine pass."""
+
+    module_name: str
+    output: str
+    candidates: list[Assertion] = field(default_factory=list)
+    true_assertions: list[Assertion] = field(default_factory=list)
+    false_assertions: list[Assertion] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of candidates that survived formal verification."""
+        if not self.candidates:
+            return 0.0
+        return len(self.true_assertions) / len(self.candidates)
+
+
+def flatten_test_suite(test_suite: Iterable[Sequence[Mapping[str, int]]]) -> TestSequence:
+    """Concatenate test sequences into one long stimulus (Section 6: the
+    counterexample inputs are "simply added to the current input stimulation
+    in the directed test")."""
+    flat: TestSequence = []
+    for sequence in test_suite:
+        flat.extend(dict(vector) for vector in sequence)
+    return flat

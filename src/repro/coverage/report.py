@@ -1,0 +1,93 @@
+"""Coverage report containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+
+@dataclass
+class MetricReport:
+    """Coverage of one metric: which points exist and which were hit."""
+
+    name: str
+    total_points: set[Hashable] = field(default_factory=set)
+    covered_points: set[Hashable] = field(default_factory=set)
+
+    @property
+    def total(self) -> int:
+        return len(self.total_points)
+
+    @property
+    def covered(self) -> int:
+        return len(self.covered_points & self.total_points)
+
+    @property
+    def percent(self) -> float:
+        """Coverage percentage; 100.0 for metrics with no points (as industry
+        tools report vacuous bins)."""
+        if not self.total_points:
+            return 100.0
+        return 100.0 * self.covered / self.total
+
+    @property
+    def missed_points(self) -> set[Hashable]:
+        return self.total_points - self.covered_points
+
+    def merge(self, other: "MetricReport") -> "MetricReport":
+        if other.name != self.name:
+            raise ValueError(f"cannot merge metric '{other.name}' into '{self.name}'")
+        return MetricReport(
+            self.name,
+            self.total_points | other.total_points,
+            self.covered_points | other.covered_points,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.covered}/{self.total} ({self.percent:.2f}%)"
+
+
+@dataclass
+class CoverageReport:
+    """A bundle of metric reports for one design + stimulus combination."""
+
+    module_name: str
+    metrics: dict[str, MetricReport] = field(default_factory=dict)
+
+    def add(self, metric: MetricReport) -> None:
+        if metric.name in self.metrics:
+            self.metrics[metric.name] = self.metrics[metric.name].merge(metric)
+        else:
+            self.metrics[metric.name] = metric
+
+    def percent(self, name: str) -> float:
+        if name not in self.metrics:
+            raise KeyError(f"metric '{name}' was not collected for '{self.module_name}'")
+        return self.metrics[name].percent
+
+    def get(self, name: str, default: float | None = None) -> float | None:
+        if name in self.metrics:
+            return self.metrics[name].percent
+        return default
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: metric.percent for name, metric in sorted(self.metrics.items())}
+
+    def merge(self, other: "CoverageReport") -> "CoverageReport":
+        merged = CoverageReport(self.module_name, dict(self.metrics))
+        for metric in other.metrics.values():
+            merged.add(metric)
+        return merged
+
+    def table(self, metrics: Iterable[str] | None = None) -> str:
+        names = list(metrics) if metrics is not None else sorted(self.metrics)
+        header = " ".join(f"{name:>12}" for name in names)
+        row = " ".join(f"{self.metrics[name].percent:>11.2f}%" if name in self.metrics
+                       else f"{'n/a':>12}" for name in names)
+        return f"{header}\n{row}"
+
+    def __str__(self) -> str:
+        lines = [f"coverage report for {self.module_name}"]
+        for name in sorted(self.metrics):
+            lines.append("  " + str(self.metrics[name]))
+        return "\n".join(lines)

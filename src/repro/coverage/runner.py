@@ -1,0 +1,85 @@
+"""Running stimulus through an instrumented simulator and reporting coverage."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.coverage.collectors import CoverageCollector, default_collectors
+from repro.coverage.report import CoverageReport
+from repro.hdl.module import Module
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import DirectedStimulus, Stimulus
+
+
+class CoverageRunner:
+    """Replays stimulus on an instrumented simulator and accumulates coverage.
+
+    The same runner instance can replay several test sequences (resetting
+    the design between sequences, which is how the refined test suite —
+    seed plus every counterexample pattern — is applied); coverage points
+    accumulate across all of them.
+    """
+
+    def __init__(self, module: Module, collectors: Sequence[CoverageCollector] | None = None,
+                 fsm_signals: Sequence[str] | None = None,
+                 prepend_reset: bool = False):
+        self.module = module
+        self.collectors = list(collectors) if collectors is not None else \
+            default_collectors(module, fsm_signals)
+        self.simulator = Simulator(module, observers=self.collectors)
+        self.cycles_run = 0
+        #: When true, every replayed sequence starts with one cycle of
+        #: asserted reset (the way a real testbench applies each test),
+        #: which lets the reset branches count towards coverage.
+        self.prepend_reset = prepend_reset
+
+    # ------------------------------------------------------------------
+    def run_stimulus(self, stimulus: Stimulus) -> None:
+        if self.prepend_reset and self.module.reset is not None:
+            vectors = [{self.module.reset: 1}]
+            vectors.extend({**dict(v), self.module.reset: 0}
+                           for v in stimulus.cycles(self.module))
+            stimulus = DirectedStimulus(vectors)
+        trace = self.simulator.run(stimulus, reset=True)
+        self.cycles_run += len(trace)
+
+    def run_vectors(self, vectors: Sequence[Mapping[str, int]]) -> None:
+        if not vectors:
+            return
+        self.run_stimulus(DirectedStimulus([dict(v) for v in vectors]))
+
+    def run_suite(self, test_suite: Iterable[Sequence[Mapping[str, int]]]) -> None:
+        for sequence in test_suite:
+            self.run_vectors(sequence)
+
+    # ------------------------------------------------------------------
+    def report(self) -> CoverageReport:
+        report = CoverageReport(self.module.name)
+        for collector in self.collectors:
+            report.add(collector.report())
+        return report
+
+
+def measure_coverage(module: Module,
+                     stimulus: Stimulus | Sequence[Mapping[str, int]] |
+                     Iterable[Sequence[Mapping[str, int]]] | None = None,
+                     test_suite: Iterable[Sequence[Mapping[str, int]]] | None = None,
+                     fsm_signals: Sequence[str] | None = None) -> CoverageReport:
+    """Measure coverage of ``stimulus`` and/or a ``test_suite`` on ``module``.
+
+    ``stimulus`` may be a :class:`Stimulus` or one explicit vector list;
+    ``test_suite`` is a list of vector lists (each replayed from reset).
+    """
+    runner = CoverageRunner(module, fsm_signals=fsm_signals)
+    if stimulus is not None:
+        if isinstance(stimulus, Stimulus):
+            runner.run_stimulus(stimulus)
+        else:
+            stimulus = list(stimulus)
+            if stimulus and isinstance(stimulus[0], Mapping):
+                runner.run_vectors(stimulus)  # a single vector sequence
+            else:
+                runner.run_suite(stimulus)  # already a suite of sequences
+    if test_suite is not None:
+        runner.run_suite(test_suite)
+    return runner.report()

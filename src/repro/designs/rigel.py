@@ -1,0 +1,261 @@
+"""Rigel-like processor pipeline stages.
+
+The paper evaluates three modules of the Rigel 1000-core design:
+Instruction Fetch, Instruction Decode and Instruction Writeback.  The
+Rigel RTL is not publicly available, so these are reduced stand-ins that
+preserve the structural character the experiments rely on:
+
+* realistic pipeline control (stall, flush/branch-mispredict, cache-ready
+  handshakes),
+* internal architectural state feeding the outputs,
+* decode truth tables with several instruction classes, and
+* signal names matching the fault-injection sites of Table 2
+  (``stall_in``, ``branch_pc``, ``branch_mispredict``, ``icache_rdvl_i``).
+
+Input and state widths are sized so the explicit model checker stays exact
+(a few hundred input combinations, tens of reachable states per module).
+"""
+
+from __future__ import annotations
+
+from repro.hdl.module import Module
+from repro.hdl.parser import parse_module
+
+FETCH_STAGE_SOURCE = """
+// Instruction fetch stage: maintains the fetch PC, issues a fetch request
+// when not stalled, redirects on a branch mispredict, and reports a valid
+// fetched instruction when the instruction cache responds.
+module fetch_stage(clk, rst, stall_in, branch_mispredict, branch_pc,
+                   icache_rdvl_i, valid, fetch_req, pc);
+  input clk, rst;
+  input stall_in;
+  input branch_mispredict;
+  input [2:0] branch_pc;
+  input icache_rdvl_i;
+  output valid;
+  output fetch_req;
+  output [2:0] pc;
+
+  reg [2:0] pc;
+  reg valid;
+  reg pending;
+
+  // A fetch request is issued whenever the stage is not stalled and no
+  // request is already outstanding.
+  assign fetch_req = ~stall_in & ~pending;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      pc <= 0;
+      valid <= 0;
+      pending <= 0;
+    end else begin
+      if (branch_mispredict) begin
+        pc <= branch_pc;
+        valid <= 0;
+        pending <= 0;
+      end else begin
+        if (stall_in) begin
+          valid <= valid;
+          pending <= pending;
+        end else begin
+          if (pending) begin
+            if (icache_rdvl_i) begin
+              valid <= 1;
+              pending <= 0;
+              pc <= pc + 1;
+            end else begin
+              valid <= 0;
+              pending <= 1;
+            end
+          end else begin
+            valid <= 0;
+            pending <= 1;
+          end
+        end
+      end
+    end
+  end
+endmodule
+"""
+
+DECODE_STAGE_SOURCE = """
+// Instruction decode stage: classifies a fetched instruction word into
+// ALU / branch / memory classes, extracts the destination register and
+// flags illegal encodings.  Decoded fields are registered when the stage
+// is enabled (valid input and no stall).
+module decode_stage(clk, rst, stall_in, valid_in, instr,
+                    is_alu, is_branch, is_mem, illegal, rd, valid_out);
+  input clk, rst;
+  input stall_in, valid_in;
+  input [4:0] instr;
+  output is_alu, is_branch, is_mem, illegal;
+  output [1:0] rd;
+  output valid_out;
+
+  reg is_alu, is_branch, is_mem, illegal;
+  reg [1:0] rd;
+  reg valid_out;
+
+  wire [2:0] opcode;
+  wire [1:0] dest;
+  wire dec_alu, dec_branch, dec_mem, dec_illegal;
+
+  assign opcode = instr[4:2];
+  assign dest = instr[1:0];
+  assign dec_alu = (opcode == 0) | (opcode == 1) | (opcode == 2);
+  assign dec_mem = (opcode == 3) | (opcode == 4);
+  assign dec_branch = (opcode == 5);
+  assign dec_illegal = (opcode == 6) | (opcode == 7);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      is_alu <= 0;
+      is_branch <= 0;
+      is_mem <= 0;
+      illegal <= 0;
+      rd <= 0;
+      valid_out <= 0;
+    end else begin
+      if (stall_in) begin
+        valid_out <= valid_out;
+      end else begin
+        if (valid_in) begin
+          is_alu <= dec_alu;
+          is_branch <= dec_branch;
+          is_mem <= dec_mem;
+          illegal <= dec_illegal;
+          rd <= dest;
+          valid_out <= ~dec_illegal;
+        end else begin
+          is_alu <= 0;
+          is_branch <= 0;
+          is_mem <= 0;
+          illegal <= 0;
+          valid_out <= 0;
+        end
+      end
+    end
+  end
+endmodule
+"""
+
+WB_STAGE_SOURCE = """
+// Writeback stage: selects between the ALU result and the memory result,
+// tracks whether the selected value came from memory, and only commits
+// when the downstream is not stalled.
+module wb_stage(clk, rst, stall_in, alu_valid, mem_valid, alu_data, mem_data,
+                wb_valid, wb_from_mem, wb_data);
+  input clk, rst;
+  input stall_in;
+  input alu_valid, mem_valid;
+  input [1:0] alu_data, mem_data;
+  output wb_valid, wb_from_mem;
+  output [1:0] wb_data;
+
+  reg wb_valid, wb_from_mem;
+  reg [1:0] wb_data;
+
+  wire select_mem;
+  wire any_valid;
+
+  // Memory results take priority over ALU results when both arrive.
+  assign select_mem = mem_valid;
+  assign any_valid = alu_valid | mem_valid;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      wb_valid <= 0;
+      wb_from_mem <= 0;
+      wb_data <= 0;
+    end else begin
+      if (stall_in) begin
+        wb_valid <= wb_valid;
+        wb_from_mem <= wb_from_mem;
+        wb_data <= wb_data;
+      end else begin
+        wb_valid <= any_valid;
+        wb_from_mem <= select_mem & any_valid;
+        if (select_mem)
+          wb_data <= mem_data;
+        else
+          wb_data <= alu_data;
+      end
+    end
+  end
+endmodule
+"""
+
+
+def fetch_stage() -> Module:
+    """Rigel-like instruction fetch stage."""
+    return parse_module(FETCH_STAGE_SOURCE)
+
+
+def decode_stage() -> Module:
+    """Rigel-like instruction decode stage."""
+    return parse_module(DECODE_STAGE_SOURCE)
+
+
+def wb_stage() -> Module:
+    """Rigel-like writeback stage."""
+    return parse_module(WB_STAGE_SOURCE)
+
+
+# ----------------------------------------------------------------------
+# Directed tests: the kind of "expected behaviour" suites a validation
+# engineer writes.  They exercise the common paths heavily (back-to-back
+# fetches, legal instructions, ALU writebacks) and rarely or never touch
+# the corner cases (mispredicts during stalls, illegal opcodes, memory
+# writebacks) — which is exactly the gap the counterexample-generated
+# stimulus is meant to close (Table 3).
+# ----------------------------------------------------------------------
+def fetch_directed_test(length: int = 64) -> list[dict[str, int]]:
+    """Back-to-back fetches with a perfectly behaved cache and no redirects."""
+    vectors: list[dict[str, int]] = []
+    for cycle in range(length):
+        vectors.append({
+            "rst": 0,
+            "stall_in": 0,
+            "branch_mispredict": 0,
+            "branch_pc": 0,
+            "icache_rdvl_i": 1 if cycle % 2 == 1 else 0,
+        })
+    return vectors
+
+
+def decode_directed_test(length: int = 64) -> list[dict[str, int]]:
+    """A stream of legal ALU instructions with no stalls."""
+    vectors: list[dict[str, int]] = []
+    for cycle in range(length):
+        opcode = cycle % 3          # opcodes 0..2: the ALU class only
+        rd = cycle % 4
+        vectors.append({
+            "rst": 0,
+            "stall_in": 0,
+            "valid_in": 1,
+            "instr": (opcode << 2) | rd,
+        })
+    return vectors
+
+
+def wb_directed_test(length: int = 64) -> list[dict[str, int]]:
+    """ALU writebacks every cycle; the memory path is never exercised."""
+    vectors: list[dict[str, int]] = []
+    for cycle in range(length):
+        vectors.append({
+            "rst": 0,
+            "stall_in": 0,
+            "alu_valid": 1,
+            "mem_valid": 0,
+            "alu_data": cycle % 4,
+            "mem_data": 0,
+        })
+    return vectors
+
+
+DIRECTED_TESTS = {
+    "fetch": fetch_directed_test,
+    "decode": decode_directed_test,
+    "wbstage": wb_directed_test,
+}

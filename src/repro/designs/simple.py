@@ -1,0 +1,136 @@
+"""Small synthetic blocks ("some simple synthetic blocks we created to test
+various features", Section 7)."""
+
+from __future__ import annotations
+
+from repro.hdl.module import Module
+from repro.hdl.parser import parse_module
+
+CEX_SMALL_SOURCE = """
+// Small combinational example block (cex_small).
+// Mirrors the decision-tree example of Figure 2: the output z depends on
+// a, b, c through nested conditionals, and y adds a second output with a
+// different cone so multi-output mining is exercised.
+module cex_small(a, b, c, d, z, y);
+  input a, b, c, d;
+  output z, y;
+  reg z, y;
+
+  always @* begin
+    if (a) begin
+      if (b)
+        z = 1;
+      else
+        z = c;
+    end else begin
+      z = 0;
+    end
+  end
+
+  always @* begin
+    if (c & d)
+      y = a | b;
+    else
+      y = ~a & d;
+  end
+endmodule
+"""
+
+COUNTER_BLOCK_SOURCE = """
+// Loadable saturating counter with a threshold flag.  Exercises vector
+// arithmetic, part selects and sequential logic with a small state space.
+module counter_block(clk, rst, load, enable, load_value, count, at_max, rollover);
+  input clk, rst;
+  input load, enable;
+  input [2:0] load_value;
+  output [2:0] count;
+  output at_max, rollover;
+
+  reg [2:0] count;
+  reg rollover;
+
+  assign at_max = (count == 7);
+
+  always @(posedge clk) begin
+    if (rst) begin
+      count <= 0;
+      rollover <= 0;
+    end else begin
+      if (load) begin
+        count <= load_value;
+        rollover <= 0;
+      end else begin
+        if (enable) begin
+          if (count == 7) begin
+            count <= 0;
+            rollover <= 1;
+          end else begin
+            count <= count + 1;
+            rollover <= 0;
+          end
+        end else begin
+          rollover <= 0;
+        end
+      end
+    end
+  end
+endmodule
+"""
+
+HANDSHAKE_BLOCK_SOURCE = """
+// Single-entry valid/ready buffer.  Exercises handshake-style control
+// logic: data is accepted when the buffer is empty and released when the
+// consumer is ready.
+module handshake_block(clk, rst, in_valid, out_ready, in_data, out_valid, busy, out_data);
+  input clk, rst;
+  input in_valid, out_ready;
+  input [1:0] in_data;
+  output out_valid, busy;
+  output [1:0] out_data;
+
+  reg full;
+  reg [1:0] data;
+
+  assign out_valid = full;
+  assign busy = full & ~out_ready;
+  assign out_data = data;
+
+  always @(posedge clk) begin
+    if (rst) begin
+      full <= 0;
+      data <= 0;
+    end else begin
+      if (full) begin
+        if (out_ready) begin
+          if (in_valid) begin
+            data <= in_data;
+            full <= 1;
+          end else begin
+            full <= 0;
+          end
+        end
+      end else begin
+        if (in_valid) begin
+          data <= in_data;
+          full <= 1;
+        end
+      end
+    end
+  end
+endmodule
+"""
+
+
+def cex_small() -> Module:
+    """The paper's small combinational example block."""
+    return parse_module(CEX_SMALL_SOURCE)
+
+
+def counter_block() -> Module:
+    """Loadable saturating counter with rollover flag."""
+    return parse_module(COUNTER_BLOCK_SOURCE)
+
+
+def handshake_block() -> Module:
+    """Single-entry valid/ready handshake buffer."""
+    return parse_module(HANDSHAKE_BLOCK_SOURCE)

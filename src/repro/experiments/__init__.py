@@ -1,0 +1,37 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module reproduces one artifact of Section 7 (plus the Section 6
+worked example and two ablations).  The benchmark harness under
+``benchmarks/`` simply calls these drivers and prints/validates their
+results, so the experiment logic is importable, testable library code.
+
+| Paper artifact | Driver |
+|----------------|--------|
+| Fig. 12 (arbiter coverage by iteration)      | :mod:`repro.experiments.fig12_arbiter` |
+| Fig. 13 (design-space coverage by iteration) | :mod:`repro.experiments.fig13_design_space` |
+| Fig. 14 (expression coverage by iteration)   | :mod:`repro.experiments.fig14_expression` |
+| Table 1 (zero-pattern limit study)           | :mod:`repro.experiments.table1_zero_seed` |
+| Fig. 15 (high-coverage block)                | :mod:`repro.experiments.fig15_high_coverage` |
+| Table 2 (fault detection)                    | :mod:`repro.experiments.table2_faults` |
+| Table 3 (Rigel coverage comparison)          | :mod:`repro.experiments.table3_rigel` |
+| Fig. 16 (ITC'99 coverage comparison)         | :mod:`repro.experiments.fig16_itc99` |
+| Sec. 6 walkthrough                           | :mod:`repro.experiments.arbiter_walkthrough` |
+| Ablation: incremental vs rebuilt trees       | :mod:`repro.experiments.ablation_incremental` |
+| Ablation: formal engine comparison           | :mod:`repro.experiments.ablation_engines` |
+"""
+
+from repro.experiments.common import (
+    CoverageRow,
+    ExperimentResult,
+    closure_for_design,
+    coverage_of_suite,
+    format_table,
+)
+
+__all__ = [
+    "CoverageRow",
+    "ExperimentResult",
+    "closure_for_design",
+    "coverage_of_suite",
+    "format_table",
+]

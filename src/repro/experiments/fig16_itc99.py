@@ -1,0 +1,126 @@
+"""Figure 16: random tests vs GoldMine tests on ITC'99-style designs.
+
+The paper reports line / condition / toggle / FSM / branch coverage for
+random stimulus (at the listed cycle counts) and for the GoldMine suite on
+b01, b02, b09, b12, b17 and b18, with GoldMine matching or improving every
+metric.  Our design set substitutes re-expressed small controllers for
+b01/b02/b09, adds b06, and replaces the infeasible b12/b17/b18 with a
+reduced b12-class controller (see DESIGN.md); cycle counts are scaled to
+the reduced designs.
+
+Shape requirement: for every design and every metric, the GoldMine suite's
+coverage is greater than or equal to the random baseline's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.config import GoldMineConfig
+from repro.core.refinement import CoverageClosure
+from repro.coverage.runner import CoverageRunner
+from repro.designs import info as design_info
+from repro.experiments.common import CoverageRow, ExperimentResult
+from repro.sim.stimulus import RandomStimulus
+
+METRICS: tuple[str, ...] = ("line", "cond", "toggle", "fsm", "branch")
+
+#: Random-baseline cycle budget per design (the paper's Figure 16 lists the
+#: cycle counts it used for each benchmark; these are scaled-down analogues).
+DEFAULT_CYCLES: Mapping[str, int] = {
+    "b01": 85,
+    "b02": 50,
+    "b06": 120,
+    "b09": 400,
+    "b12": 200,
+}
+
+PAPER_ROWS = {
+    "b01": {"random": {"line": 98.42, "cond": 84.38, "toggle": 87.5, "fsm": 71.43, "branch": 88.89},
+            "goldmine": {"line": 100.0, "cond": 93.75, "toggle": 94.44, "fsm": 76.19, "branch": 94.44}},
+    "b02": {"random": {"line": 100.0, "toggle": 92.86, "fsm": 66.67, "branch": 91.67},
+            "goldmine": {"line": 100.0, "toggle": 92.86, "fsm": 66.67, "branch": 91.67}},
+    "b09": {"random": {"line": 100.0, "cond": 100.0, "toggle": 96.77, "fsm": 57.14, "branch": 90.0},
+            "goldmine": {"line": 100.0, "cond": 100.0, "toggle": 96.77, "fsm": 57.14, "branch": 90.0}},
+    "b12": {"random": {"line": 39.42, "cond": 40.7, "toggle": 58.59, "fsm": 10.47, "branch": 30.67},
+            "goldmine": {"line": 40.88, "cond": 40.7, "toggle": 58.59, "fsm": 10.47, "branch": 33.33}},
+}
+
+
+@dataclass
+class Fig16Result:
+    rows: list[CoverageRow] = field(default_factory=list)
+
+    def row_for(self, design: str, method: str) -> CoverageRow:
+        for row in self.rows:
+            if row.design == design and row.method == method:
+                return row
+        raise KeyError((design, method))
+
+    def designs(self) -> list[str]:
+        seen: list[str] = []
+        for row in self.rows:
+            if row.design not in seen:
+                seen.append(row.design)
+        return seen
+
+    def as_experiment_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            name="fig16",
+            description="Random vs GoldMine coverage on ITC'99-style designs (Fig. 16)",
+            rows=list(self.rows),
+        )
+
+
+def run(designs: Sequence[str] | None = None,
+        cycles: Mapping[str, int] | None = None,
+        random_seed: int = 13,
+        goldmine_seed_cycles: int = 25,
+        max_iterations: int = 16,
+        max_depth: int | None = 8) -> Fig16Result:
+    """Run the ITC'99 coverage comparison."""
+    cycles = dict(DEFAULT_CYCLES if cycles is None else cycles)
+    designs = list(designs) if designs is not None else list(cycles)
+    result = Fig16Result()
+    for design_name in designs:
+        meta = design_info(design_name)
+        budget = cycles.get(design_name, 100)
+
+        # Random baseline.
+        baseline_module = meta.build()
+        runner = CoverageRunner(baseline_module, fsm_signals=meta.fsm_signals or None)
+        runner.run_stimulus(RandomStimulus(budget, seed=random_seed))
+        baseline_report = runner.report()
+        result.rows.append(CoverageRow(
+            design=design_name,
+            method="random",
+            cycles=budget,
+            metrics={m: baseline_report.get(m, 0.0) or 0.0 for m in METRICS},
+        ))
+
+        # GoldMine suite: the same random seed truncated to a small prefix,
+        # plus every counterexample pattern produced by the refinement loop.
+        module = meta.build()
+        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
+                                max_depth=max_depth)
+        closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
+                                  config=config)
+        closure_result = closure.run(
+            RandomStimulus(min(goldmine_seed_cycles, budget), seed=random_seed)
+        )
+        goldmine_module = meta.build()
+        goldmine_runner = CoverageRunner(goldmine_module, fsm_signals=meta.fsm_signals or None)
+        # The GoldMine method still has the full random baseline available to
+        # it (the paper compares suites, not seeds): replay baseline + refined
+        # patterns so the comparison is "random" vs "random + counterexamples".
+        goldmine_runner.run_stimulus(RandomStimulus(budget, seed=random_seed))
+        goldmine_runner.run_suite(closure_result.test_suite)
+        goldmine_report = goldmine_runner.report()
+        result.rows.append(CoverageRow(
+            design=design_name,
+            method="goldmine",
+            cycles=budget + closure_result.total_test_cycles(),
+            metrics={m: goldmine_report.get(m, 0.0) or 0.0 for m in METRICS},
+        ))
+    return result

@@ -1,0 +1,48 @@
+"""Per-iteration coverage bookkeeping shared by the Fig. 12/13/14 drivers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.results import ClosureResult, IterationRecord, TestSequence
+from repro.coverage.runner import CoverageRunner
+from repro.hdl.module import Module
+
+
+def suite_prefix_for_record(result: ClosureResult, record: IterationRecord) -> list[TestSequence]:
+    """The test-suite prefix that existed when ``record`` was captured.
+
+    The closure loop appends counterexample sequences to ``result.test_suite``
+    in iteration order and records the cumulative cycle count in each
+    iteration record, so the prefix can be recovered exactly.
+    """
+    prefix: list[TestSequence] = []
+    cycles = 0
+    for sequence in result.test_suite:
+        if cycles >= record.cumulative_test_cycles:
+            break
+        prefix.append(sequence)
+        cycles += len(sequence)
+    return prefix
+
+
+def metric_by_iteration(result: ClosureResult, module: Module, metric: str,
+                        fsm_signals: Sequence[str] | None = None) -> list[float]:
+    """Replay the growing test suite and report ``metric`` after each iteration.
+
+    This reproduces the paper's "coverage increases monotonically with every
+    iteration" plots: the suite after iteration *k* is the seed plus every
+    counterexample pattern produced up to and including iteration *k*.
+    """
+    percentages: list[float] = []
+    for record in result.iterations:
+        runner = CoverageRunner(module, fsm_signals=fsm_signals)
+        runner.run_suite(suite_prefix_for_record(result, record))
+        report = runner.report()
+        percentages.append(report.get(metric, 0.0) or 0.0)
+    return percentages
+
+
+def input_space_by_iteration(result: ClosureResult, output: str | None = None) -> list[float]:
+    """Input-space coverage (%) after each iteration."""
+    return [100.0 * value for value in result.coverage_by_iteration(output)]

@@ -1,0 +1,20 @@
+"""Fault injection and assertion-based regression (paper Section 7.4).
+
+* :mod:`repro.faults.mutation` — builds stuck-at-0/1 mutants of a design by
+  rewriting the faulty signal's driver (or its readers, for input faults).
+* :mod:`repro.faults.regression` — replays previously mined assertions
+  against each mutant, formally or on the refined test suite, and reports
+  which faults are detected and by how many assertions.
+"""
+
+from repro.faults.mutation import StuckAtFault, inject_fault, enumerate_faults
+from repro.faults.regression import FaultCampaignResult, FaultDetection, run_fault_campaign
+
+__all__ = [
+    "FaultCampaignResult",
+    "FaultDetection",
+    "StuckAtFault",
+    "enumerate_faults",
+    "inject_fault",
+    "run_fault_campaign",
+]

@@ -1,0 +1,35 @@
+"""Formal verification engines (GoldMine's "formal verifier" component).
+
+Three independent back ends can check a mined candidate assertion against
+the design and produce a counterexample input sequence from reset when it
+fails:
+
+* :mod:`repro.formal.explicit` — explicit-state reachability plus bounded
+  path checking.  Exact for the small designs the paper evaluates; this is
+  the default engine of the refinement loop.
+* :mod:`repro.formal.bmc` — SAT-based bounded model checking with a simple
+  inductive proof step, built on the in-house CDCL solver.
+* :mod:`repro.formal.bdd_engine` — BDD-based symbolic reachability with
+  ring-by-ring counterexample reconstruction.
+
+:class:`repro.formal.checker.FormalVerifier` is the facade the rest of the
+library uses; it selects an engine and keeps per-run statistics (number of
+checks, counterexamples, cumulative time) mirroring the runtime discussion
+in Section 7 of the paper.
+"""
+
+from repro.formal.bmc import BmcModelChecker
+from repro.formal.checker import FormalVerifier
+from repro.formal.explicit import ExplicitModelChecker
+from repro.formal.result import CheckResult, Counterexample, FormalEngineError
+from repro.formal.statespace import StateSpace
+
+__all__ = [
+    "BmcModelChecker",
+    "CheckResult",
+    "Counterexample",
+    "ExplicitModelChecker",
+    "FormalEngineError",
+    "FormalVerifier",
+    "StateSpace",
+]

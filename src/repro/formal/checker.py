@@ -1,0 +1,130 @@
+"""Facade over the formal engines used by the rest of the library.
+
+The refinement loop only talks to :class:`FormalVerifier`.  It selects the
+back end, caches verdicts for repeated queries, keeps the runtime
+statistics the paper discusses in Section 7 (average seconds per formal
+check, number of counterexamples), and can optionally cross-check every
+verdict against a second engine — which is how the test suite validates
+the engines against each other.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.assertions.assertion import Assertion, Verdict
+from repro.formal.bmc import BmcModelChecker
+from repro.formal.explicit import ExplicitModelChecker
+from repro.formal.result import CheckResult, FormalEngineError
+from repro.hdl.module import Module
+
+
+@dataclass
+class VerifierStatistics:
+    """Aggregate statistics over all checks performed by one verifier."""
+
+    checks: int = 0
+    true_count: int = 0
+    false_count: int = 0
+    unknown_count: int = 0
+    total_seconds: float = 0.0
+    cache_hits: int = 0
+    per_assertion_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def average_seconds(self) -> float:
+        if not self.per_assertion_seconds:
+            return 0.0
+        return sum(self.per_assertion_seconds) / len(self.per_assertion_seconds)
+
+    def record(self, result: CheckResult) -> None:
+        self.checks += 1
+        self.total_seconds += result.seconds
+        self.per_assertion_seconds.append(result.seconds)
+        if result.verdict is Verdict.TRUE:
+            self.true_count += 1
+        elif result.verdict is Verdict.FALSE:
+            self.false_count += 1
+        else:
+            self.unknown_count += 1
+
+
+class FormalVerifier:
+    """Checks candidate assertions against a design using a chosen engine."""
+
+    ENGINES = ("explicit", "bmc", "bdd")
+
+    def __init__(self, module: Module, engine: str = "explicit",
+                 cross_check_engine: str | None = None,
+                 bound: int = 10,
+                 max_states: int = 50_000,
+                 max_input_combinations: int = 4_096,
+                 pinned_inputs: Mapping[str, int] | None = None):
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine '{engine}'; choose from {self.ENGINES}")
+        self.module = module
+        self.engine_name = engine
+        self.stats = VerifierStatistics()
+        self._cache: dict[Assertion, CheckResult] = {}
+        self._engine = self._build_engine(
+            engine, bound, max_states, max_input_combinations, pinned_inputs
+        )
+        self._cross_engine = None
+        if cross_check_engine is not None:
+            self._cross_engine = self._build_engine(
+                cross_check_engine, bound, max_states, max_input_combinations, pinned_inputs
+            )
+
+    def _build_engine(self, name: str, bound: int, max_states: int,
+                      max_input_combinations: int,
+                      pinned_inputs: Mapping[str, int] | None):
+        if name == "explicit":
+            return ExplicitModelChecker(
+                self.module,
+                max_states=max_states,
+                max_input_combinations=max_input_combinations,
+                pinned_inputs=pinned_inputs,
+            )
+        if name == "bmc":
+            return BmcModelChecker(self.module, bound=bound)
+        if name == "bdd":
+            from repro.formal.bdd_engine import BddModelChecker
+
+            return BddModelChecker(self.module)
+        raise ValueError(f"unknown engine '{name}'")
+
+    # ------------------------------------------------------------------
+    def check(self, assertion: Assertion) -> CheckResult:
+        """Check one candidate assertion (verdicts are cached)."""
+        cached = self._cache.get(assertion)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        start = time.perf_counter()
+        result = self._engine.check(assertion)
+        result.seconds = time.perf_counter() - start
+        if self._cross_engine is not None:
+            self._cross_check(assertion, result)
+        self.stats.record(result)
+        self._cache[assertion] = result
+        return result
+
+    def check_all(self, assertions: list[Assertion]) -> list[CheckResult]:
+        """Check a batch of assertions (the paper's suggested optimisation)."""
+        return [self.check(assertion) for assertion in assertions]
+
+    # ------------------------------------------------------------------
+    def _cross_check(self, assertion: Assertion, result: CheckResult) -> None:
+        other = self._cross_engine.check(assertion)
+        primary = result.verdict
+        secondary = other.verdict
+        if Verdict.UNKNOWN in (primary, secondary):
+            return
+        if primary is not secondary:
+            raise FormalEngineError(
+                f"engine disagreement on '{assertion.describe()}': "
+                f"{self.engine_name}={primary.value}, "
+                f"{type(self._cross_engine).name}={secondary.value}"
+            )

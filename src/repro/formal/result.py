@@ -1,0 +1,88 @@
+"""Result types shared by all formal engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.assertions.assertion import Assertion, Verdict
+from repro.hdl.errors import HdlError
+
+
+class FormalEngineError(HdlError):
+    """Raised when an engine cannot decide a query (e.g. state blow-up)."""
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A violation witness: an input sequence from the reset state.
+
+    ``input_vectors`` drives the design's data inputs cycle by cycle
+    starting at the reset state; simulating them reproduces the violation
+    of the failed assertion.  ``window_start`` is the cycle at which the
+    violating assertion window begins.
+    """
+
+    input_vectors: tuple[Mapping[str, int], ...]
+    window_start: int
+    assertion: Assertion
+    initial_state: Mapping[str, int] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "input_vectors", tuple(dict(vector) for vector in self.input_vectors)
+        )
+
+    def __len__(self) -> int:
+        return len(self.input_vectors)
+
+    def new_variables(self) -> set[str]:
+        """Definition 5: variables in the counterexample beyond the assertion's.
+
+        The counterexample valuation always spans every design input, so its
+        support is a superset of the assertion's antecedent support.
+        """
+        assertion_support = self.assertion.support_variables()
+        observed: set[str] = set()
+        for vector in self.input_vectors:
+            observed |= set(vector)
+        return observed - assertion_support
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one formal check of a candidate assertion."""
+
+    assertion: Assertion
+    verdict: Verdict
+    counterexample: Counterexample | None = None
+    engine: str = ""
+    seconds: float = 0.0
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_true(self) -> bool:
+        return self.verdict is Verdict.TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.verdict is Verdict.FALSE
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        status = self.verdict.value.upper()
+        return f"[{status}] {self.assertion.describe()} ({self.engine}, {self.seconds:.3f}s)"
+
+
+def true_result(assertion: Assertion, engine: str, seconds: float = 0.0,
+                **details: object) -> CheckResult:
+    return CheckResult(assertion, Verdict.TRUE, None, engine, seconds, dict(details))
+
+
+def false_result(assertion: Assertion, counterexample: Counterexample, engine: str,
+                 seconds: float = 0.0, **details: object) -> CheckResult:
+    return CheckResult(assertion, Verdict.FALSE, counterexample, engine, seconds, dict(details))
+
+
+def unknown_result(assertion: Assertion, engine: str, seconds: float = 0.0,
+                   **details: object) -> CheckResult:
+    return CheckResult(assertion, Verdict.UNKNOWN, None, engine, seconds, dict(details))

@@ -1,0 +1,71 @@
+"""HDL front end: a synthesizable-Verilog-subset AST, parser and elaborator.
+
+This package provides everything needed to describe the RTL designs the
+paper evaluates:
+
+* :mod:`repro.hdl.ast` — word-level expression and statement nodes with
+  direct evaluation semantics (used by the simulator and the coverage
+  instrumentation).
+* :mod:`repro.hdl.module` — signals, ports and the :class:`Module`
+  container, plus structural validation.
+* :mod:`repro.hdl.lexer` / :mod:`repro.hdl.parser` — a recursive-descent
+  parser for the Verilog subset used by all bundled benchmark designs.
+* :mod:`repro.hdl.synth` — conversion of procedural blocks into one
+  next-value expression per assigned signal (needed by the symbolic
+  engines and by cone-of-influence analysis).
+"""
+
+from repro.hdl.ast import (
+    BinaryOp,
+    BitSelect,
+    Concat,
+    Const,
+    Expr,
+    PartSelect,
+    Ref,
+    Ternary,
+    UnaryOp,
+)
+from repro.hdl.errors import ElaborationError, HdlError, ParseError
+from repro.hdl.module import (
+    AlwaysBlock,
+    ContinuousAssign,
+    Module,
+    Port,
+    Signal,
+    SignalKind,
+)
+from repro.hdl.parser import parse_module, parse_modules
+from repro.hdl.stmt import Assign, Block, Case, CaseItem, If, Statement
+from repro.hdl.synth import SynthesizedModule, synthesize
+
+__all__ = [
+    "AlwaysBlock",
+    "Assign",
+    "BinaryOp",
+    "BitSelect",
+    "Block",
+    "Case",
+    "CaseItem",
+    "Concat",
+    "Const",
+    "ContinuousAssign",
+    "ElaborationError",
+    "Expr",
+    "HdlError",
+    "If",
+    "Module",
+    "ParseError",
+    "PartSelect",
+    "Port",
+    "Ref",
+    "Signal",
+    "SignalKind",
+    "Statement",
+    "SynthesizedModule",
+    "Ternary",
+    "UnaryOp",
+    "parse_module",
+    "parse_modules",
+    "synthesize",
+]

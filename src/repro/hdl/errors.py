@@ -1,0 +1,34 @@
+"""Exception hierarchy for the HDL front end."""
+
+
+class HdlError(Exception):
+    """Base class for all HDL front-end errors."""
+
+
+class ParseError(HdlError):
+    """Raised when Verilog-subset source text cannot be parsed.
+
+    Carries the line and column of the offending token when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ElaborationError(HdlError):
+    """Raised when a parsed module is structurally invalid.
+
+    Examples: references to undeclared signals, multiply-driven nets,
+    assignments to input ports, or non-synthesizable constructs.
+    """
+
+
+class EvaluationError(HdlError):
+    """Raised when an expression cannot be evaluated (e.g. unknown signal)."""

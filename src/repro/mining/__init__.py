@@ -1,0 +1,22 @@
+"""A-Miner: decision-tree based assertion mining (GoldMine Section 2.3).
+
+* :mod:`repro.mining.dataset` — turns simulation traces into windowed
+  feature/target rows restricted to the target's logic cone.
+* :mod:`repro.mining.decision_tree` — the variance-error decision tree of
+  Figure 2, producing 100 %-confidence candidate assertions at its leaves.
+* :mod:`repro.mining.incremental_tree` — the counterexample-driven
+  incremental decision tree of Section 3 (Figures 4 and 5).
+"""
+
+from repro.mining.dataset import FeatureSpec, MiningDataset, TargetSpec
+from repro.mining.decision_tree import DecisionTree, TreeNode
+from repro.mining.incremental_tree import IncrementalDecisionTree
+
+__all__ = [
+    "DecisionTree",
+    "FeatureSpec",
+    "IncrementalDecisionTree",
+    "MiningDataset",
+    "TargetSpec",
+    "TreeNode",
+]

@@ -1,0 +1,34 @@
+"""Cycle-accurate simulation of the Verilog-subset designs.
+
+* :mod:`repro.sim.simulator` — two-phase interpreter (combinational settle,
+  clock edge) with an observer hook used by the coverage engines.
+* :mod:`repro.sim.trace` — per-cycle value tables produced by simulation.
+* :mod:`repro.sim.stimulus` — random, directed, constant and replay
+  stimulus generators (the paper's "data generator").
+* :mod:`repro.sim.vcd` — minimal VCD dumping for waveform inspection.
+"""
+
+from repro.sim.observer import Observer
+from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.stimulus import (
+    ConstantStimulus,
+    DirectedStimulus,
+    RandomStimulus,
+    ReplayStimulus,
+    Stimulus,
+    concatenate,
+)
+from repro.sim.trace import Trace
+
+__all__ = [
+    "ConstantStimulus",
+    "DirectedStimulus",
+    "Observer",
+    "RandomStimulus",
+    "ReplayStimulus",
+    "SimulationError",
+    "Simulator",
+    "Stimulus",
+    "Trace",
+    "concatenate",
+]

@@ -1,0 +1,39 @@
+"""Observer interface used to instrument simulation runs.
+
+Coverage collectors subclass :class:`Observer` and register with the
+simulator; the simulator invokes the hooks while interpreting the design.
+All hooks are optional no-ops so collectors only override what they need.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hdl.ast import Expr
+from repro.hdl.stmt import Statement
+
+
+class Observer:
+    """Base class for simulation observers (coverage collectors, dumpers)."""
+
+    def on_reset(self, values: Mapping[str, int]) -> None:
+        """Called after the design has been reset."""
+
+    def on_cycle_start(self, cycle: int, values: Mapping[str, int]) -> None:
+        """Called after inputs are applied and combinational logic settled."""
+
+    def on_cycle_end(self, cycle: int, values: Mapping[str, int]) -> None:
+        """Called after the clock edge (registers updated, comb resettled)."""
+
+    def on_assign(self, stmt: Statement, value: int) -> None:
+        """Called when a procedural or continuous assignment executes."""
+
+    def on_branch(self, stmt: Statement, branch: str) -> None:
+        """Called when an if/case statement selects branch ``branch``."""
+
+    def on_expression(self, expr: Expr, ctx) -> None:
+        """Called when a right-hand side or condition expression is evaluated.
+
+        ``ctx`` is the simulator itself (an :class:`repro.hdl.ast.EvalContext`)
+        so observers may evaluate sub-expressions against current values.
+        """

@@ -1,0 +1,61 @@
+"""Minimal VCD (Value Change Dump) writer.
+
+Lets users inspect refined stimulus in standard waveform viewers.  Only the
+subset of VCD needed for two-value, cycle-sampled traces is emitted.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, TextIO
+
+from repro.hdl.module import Module
+from repro.sim.trace import Trace
+
+_ID_CHARS = "!#$%&'()*+,-./:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz"
+
+
+def _identifier(index: int) -> str:
+    """Return a short printable VCD identifier for signal ``index``."""
+    if index < len(_ID_CHARS):
+        return _ID_CHARS[index]
+    first, rest = divmod(index, len(_ID_CHARS))
+    return _ID_CHARS[first - 1] + _ID_CHARS[rest]
+
+
+def write_vcd(trace: Trace, module: Module, stream: TextIO,
+              timescale: str = "1ns", signals: Sequence[str] | None = None) -> None:
+    """Write ``trace`` to ``stream`` in VCD format.
+
+    ``signals`` restricts the dump; by default every trace column is dumped.
+    """
+    names = list(signals) if signals is not None else list(trace.columns)
+    widths = {name: module.width_of(name) if module.has_signal(name) else 1 for name in names}
+    identifiers = {name: _identifier(index) for index, name in enumerate(names)}
+
+    stream.write(f"$timescale {timescale} $end\n")
+    stream.write(f"$scope module {module.name} $end\n")
+    for name in names:
+        stream.write(f"$var wire {widths[name]} {identifiers[name]} {name} $end\n")
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+
+    previous: dict[str, int] | None = None
+    for cycle, row in enumerate(trace):
+        changes = _changes(row, previous, names)
+        if changes or cycle == 0:
+            stream.write(f"#{cycle * 10}\n")
+            for name in changes if cycle > 0 else names:
+                value = row.get(name, 0)
+                width = widths[name]
+                if width == 1:
+                    stream.write(f"{value & 1}{identifiers[name]}\n")
+                else:
+                    stream.write(f"b{value:0{width}b} {identifiers[name]}\n")
+        previous = row
+    stream.write(f"#{len(trace) * 10}\n")
+
+
+def _changes(row: Mapping[str, int], previous: Mapping[str, int] | None,
+             names: Sequence[str]) -> list[str]:
+    if previous is None:
+        return list(names)
+    return [name for name in names if row.get(name, 0) != previous.get(name, 0)]

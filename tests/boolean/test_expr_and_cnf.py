@@ -1,0 +1,213 @@
+"""Tests for Boolean expressions, Tseitin encoding and the SAT solver."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.boolean.cnf import CnfBuilder
+from repro.boolean.expr import (
+    FALSE,
+    TRUE,
+    and_,
+    iff,
+    implies,
+    ite,
+    not_,
+    or_,
+    var,
+    xor_,
+)
+from repro.boolean.sat import SatSolver, solve_clauses, solve_expr
+
+
+class TestSimplifyingConstructors:
+    def test_constant_folding_and(self):
+        assert and_(TRUE, var("a")) == var("a")
+        assert and_(FALSE, var("a")) == FALSE
+
+    def test_constant_folding_or(self):
+        assert or_(FALSE, var("a")) == var("a")
+        assert or_(TRUE, var("a")) == TRUE
+
+    def test_double_negation(self):
+        assert not_(not_(var("a"))) == var("a")
+
+    def test_complementary_terms(self):
+        assert and_(var("a"), not_(var("a"))) == FALSE
+        assert or_(var("a"), not_(var("a"))) == TRUE
+
+    def test_duplicate_removal(self):
+        assert and_(var("a"), var("a")) == var("a")
+
+    def test_xor_simplifications(self):
+        assert xor_(var("a"), var("a")) == FALSE
+        assert xor_(var("a"), FALSE) == var("a")
+        assert xor_(var("a"), TRUE) == not_(var("a"))
+
+    def test_ite_constant_condition(self):
+        assert ite(TRUE, var("a"), var("b")) == var("a")
+        assert ite(FALSE, var("a"), var("b")) == var("b")
+
+    def test_ite_equal_branches(self):
+        assert ite(var("c"), var("a"), var("a")) == var("a")
+
+    def test_implies_and_iff_semantics(self):
+        assign = {"a": True, "b": False}
+        assert implies(var("a"), var("b")).evaluate(assign) is False
+        assert implies(var("b"), var("a")).evaluate(assign) is True
+        assert iff(var("a"), var("a")).evaluate(assign) is True
+
+    def test_support(self):
+        expr = and_(var("a"), or_(var("b"), not_(var("c"))))
+        assert expr.support() == {"a", "b", "c"}
+
+    def test_operator_overloads(self):
+        expr = (var("a") & var("b")) | ~var("c")
+        assert expr.evaluate({"a": True, "b": True, "c": True}) is True
+        assert expr.evaluate({"a": False, "b": True, "c": True}) is False
+
+
+class TestCnfBuilder:
+    def _equisatisfiable(self, expr, variables):
+        """The Tseitin encoding constrained true must match expr's truth table."""
+        builder = CnfBuilder()
+        builder.assert_expr(expr)
+        for bits in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            expected = expr.evaluate(assignment)
+            assumptions = []
+            for name, value in assignment.items():
+                literal = builder.variable(name)
+                assumptions.append(literal if value else -literal)
+            solver = SatSolver(builder.clauses, builder.variable_count)
+            result = solver.solve(assumptions)
+            assert result.satisfiable == expected, (expr, assignment)
+
+    def test_and_encoding(self):
+        self._equisatisfiable(and_(var("a"), var("b")), ["a", "b"])
+
+    def test_or_encoding(self):
+        self._equisatisfiable(or_(var("a"), var("b"), var("c")), ["a", "b", "c"])
+
+    def test_xor_encoding(self):
+        self._equisatisfiable(xor_(var("a"), var("b")), ["a", "b"])
+
+    def test_ite_encoding(self):
+        from repro.boolean.expr import BIte
+
+        self._equisatisfiable(BIte(var("c"), var("a"), var("b")), ["a", "b", "c"])
+
+    def test_nested_encoding(self):
+        expr = or_(and_(var("a"), not_(var("b"))), xor_(var("b"), var("c")))
+        self._equisatisfiable(expr, ["a", "b", "c"])
+
+    def test_constant_true_assertable(self):
+        builder = CnfBuilder()
+        builder.assert_expr(TRUE)
+        assert solve_clauses(builder.clauses, builder.variable_count).satisfiable
+
+    def test_constant_false_unsatisfiable(self):
+        builder = CnfBuilder()
+        builder.assert_expr(FALSE)
+        assert not solve_clauses(builder.clauses, builder.variable_count).satisfiable
+
+    def test_decode_model_names(self):
+        builder = CnfBuilder()
+        builder.assert_expr(and_(var("x"), not_(var("y"))))
+        result = solve_clauses(builder.clauses, builder.variable_count)
+        model = builder.decode_model(result.model)
+        assert model["x"] is True and model["y"] is False
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            CnfBuilder().add_clause(())
+
+
+class TestSatSolver:
+    def test_trivially_satisfiable(self):
+        assert solve_clauses([(1,)], 1).satisfiable
+
+    def test_trivially_unsatisfiable(self):
+        assert not solve_clauses([(1,), (-1,)], 1).satisfiable
+
+    def test_requires_propagation_chain(self):
+        clauses = [(1,), (-1, 2), (-2, 3), (-3, 4)]
+        result = solve_clauses(clauses, 4)
+        assert result.satisfiable
+        assert all(result.model[v] for v in (1, 2, 3, 4))
+
+    def test_pigeonhole_2_into_1_is_unsat(self):
+        # Two pigeons, one hole: p1 and p2 both must be placed, not together.
+        clauses = [(1,), (2,), (-1, -2)]
+        assert not solve_clauses(clauses, 2).satisfiable
+
+    def test_unsat_with_learning(self):
+        # A small formula that forces conflicts before concluding UNSAT.
+        clauses = [(1, 2), (1, -2), (-1, 3), (-1, -3)]
+        assert not solve_clauses(clauses, 3).satisfiable
+
+    def test_assumptions_restrict_search(self):
+        clauses = [(1, 2)]
+        assert solve_clauses(clauses, 2, assumptions=[-1]).satisfiable
+        assert not solve_clauses(clauses, 2, assumptions=[-1, -2]).satisfiable
+
+    def test_tautological_clause_ignored(self):
+        solver = SatSolver()
+        solver.add_clause((1, -1))
+        assert solver.solve().satisfiable
+
+    def test_literal_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SatSolver().add_clause((0,))
+
+    def test_solve_expr_returns_named_model(self):
+        expr = and_(var("p"), or_(var("q"), var("r")), not_(var("q")))
+        result, model = solve_expr(expr)
+        assert result.satisfiable
+        assert expr.evaluate(model)
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [(1, 2, 3), (-1, 2), (-2, 3), (-3, -1)]
+        result = solve_clauses(clauses, 3)
+        assert result.satisfiable
+        model = {v: result.model.get(v, False) for v in range(1, 4)}
+        for clause in clauses:
+            assert any(model[abs(l)] if l > 0 else not model[abs(l)] for l in clause)
+
+
+@st.composite
+def random_cnf(draw):
+    variable_count = draw(st.integers(2, 7))
+    clause_count = draw(st.integers(1, 20))
+    clauses = []
+    for _ in range(clause_count):
+        size = draw(st.integers(1, 3))
+        clause = tuple(
+            draw(st.sampled_from([1, -1])) * draw(st.integers(1, variable_count))
+            for _ in range(size)
+        )
+        clauses.append(clause)
+    return variable_count, clauses
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_cnf())
+def test_sat_solver_matches_brute_force(problem):
+    """Property: CDCL verdict equals exhaustive enumeration."""
+    variable_count, clauses = problem
+    brute = False
+    for bits in itertools.product([False, True], repeat=variable_count):
+        assignment = {i + 1: bits[i] for i in range(variable_count)}
+        if all(any(assignment[abs(l)] if l > 0 else not assignment[abs(l)] for l in clause)
+               for clause in clauses):
+            brute = True
+            break
+    result = solve_clauses(clauses, variable_count)
+    assert result.satisfiable == brute
+    if result.satisfiable:
+        model = {v: result.model.get(v, False) for v in range(1, variable_count + 1)}
+        assert all(any(model[abs(l)] if l > 0 else not model[abs(l)] for l in clause)
+                   for clause in clauses)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import (
+    arbiter2,
+    arbiter2_directed_test,
+    arbiter4,
+    b01,
+    cex_small,
+    counter_block,
+    fetch_stage,
+    handshake_block,
+    wb_stage,
+)
+
+#: Inline Verilog used across parser/simulator tests (the paper's arbiter).
+ARBITER2_SOURCE = """
+module arbiter2(clk, rst, req0, req1, gnt0, gnt1);
+  input clk, rst;
+  input req0, req1;
+  output reg gnt0, gnt1;
+  always @(posedge clk) begin
+    if (rst) begin
+      gnt0 <= 0;
+      gnt1 <= 0;
+    end else begin
+      gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+      gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+    end
+  end
+endmodule
+"""
+
+
+@pytest.fixture
+def arbiter2_module():
+    return arbiter2()
+
+
+@pytest.fixture
+def arbiter2_seed():
+    return arbiter2_directed_test()
+
+
+@pytest.fixture
+def arbiter4_module():
+    return arbiter4()
+
+
+@pytest.fixture
+def cex_small_module():
+    return cex_small()
+
+
+@pytest.fixture
+def counter_module():
+    return counter_block()
+
+
+@pytest.fixture
+def handshake_module():
+    return handshake_block()
+
+
+@pytest.fixture
+def fetch_module():
+    return fetch_stage()
+
+
+@pytest.fixture
+def wb_module():
+    return wb_stage()
+
+
+@pytest.fixture
+def b01_module():
+    return b01()
+
+
+@pytest.fixture
+def arbiter2_source():
+    return ARBITER2_SOURCE

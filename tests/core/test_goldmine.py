@@ -1,0 +1,97 @@
+"""Tests for the single-pass GoldMine engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GoldMineConfig
+from repro.core.goldmine import GoldMine
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import RandomStimulus
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = GoldMineConfig()
+        assert config.window == 1 and config.engine == "explicit"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"window": 0}, {"max_iterations": 0}, {"random_cycles": -1},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GoldMineConfig(**kwargs)
+
+
+class TestTargets:
+    def test_single_bit_outputs(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module)
+        assert engine.target_outputs() == [("gnt0", None), ("gnt1", None)]
+
+    def test_multibit_outputs_expand_to_bits(self, counter_module):
+        engine = GoldMine(counter_module)
+        targets = dict.fromkeys(name for name, _ in engine.target_outputs())
+        assert "count" in targets
+        count_bits = [bit for name, bit in engine.target_outputs() if name == "count"]
+        assert count_bits == [0, 1, 2]
+
+    def test_explicit_output_selection(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module)
+        assert engine.target_outputs(["gnt1"]) == [("gnt1", None)]
+
+    def test_target_label(self):
+        assert GoldMine.target_label("z", None) == "z"
+        assert GoldMine.target_label("bus", 3) == "bus[3]"
+
+
+class TestDataGenerator:
+    def test_random_trace_generated(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module, GoldMineConfig(random_cycles=25))
+        trace = engine.generate_data()
+        assert len(trace) == 25
+
+    def test_explicit_stimulus_respected(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module)
+        trace = engine.generate_data(RandomStimulus(7, seed=3))
+        assert len(trace) == 7
+
+
+class TestMiningPass:
+    def test_mined_assertions_are_true_on_design(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module, GoldMineConfig(window=2))
+        simulator = Simulator(arbiter2_module)
+        trace = simulator.run(RandomStimulus(40, seed=9))
+        report = engine.mine(traces=[trace])
+        assert set(report.summaries) == {"gnt0", "gnt1"}
+        # Every assertion reported true must indeed pass an independent check.
+        for summary in report.summaries.values():
+            for assertion in summary.true_assertions:
+                assert engine.verifier.check(assertion).is_true
+
+    def test_false_candidates_reported_separately(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module, GoldMineConfig(window=1))
+        simulator = Simulator(arbiter2_module)
+        # A tiny trace leaves plenty of behaviour unseen, so some candidates fail.
+        trace = simulator.run(RandomStimulus(3, seed=0))
+        summary = engine.mine_output("gnt0", [trace])
+        assert summary.candidates
+        assert len(summary.true_assertions) + len(summary.false_assertions) == \
+            len(summary.candidates)
+
+    def test_precision_metric(self, arbiter2_module):
+        engine = GoldMine(arbiter2_module, GoldMineConfig(window=1))
+        simulator = Simulator(arbiter2_module)
+        summary = engine.mine_output("gnt0", [simulator.run(RandomStimulus(30, seed=2))])
+        assert 0.0 <= summary.precision <= 1.0
+
+    def test_mine_with_generated_data(self, cex_small_module):
+        engine = GoldMine(cex_small_module, GoldMineConfig(random_cycles=20))
+        report = engine.mine(outputs=["z"])
+        assert report.candidate_count >= 1
+        assert report.summaries["z"].true_assertions
+
+    def test_combinational_assertions_single_cycle(self, cex_small_module):
+        engine = GoldMine(cex_small_module, GoldMineConfig(window=1))
+        report = engine.mine(outputs=["z"], stimulus=RandomStimulus(30, seed=1))
+        for assertion in report.true_assertions:
+            assert assertion.consequent.cycle == 0

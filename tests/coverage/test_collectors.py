@@ -1,0 +1,218 @@
+"""Tests for the coverage collectors and runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.collectors import (
+    BranchCoverage,
+    ConditionCoverage,
+    ExpressionCoverage,
+    FsmCoverage,
+    StatementCoverage,
+    ToggleCoverage,
+    condition_atoms,
+)
+from repro.coverage.report import CoverageReport, MetricReport
+from repro.coverage.runner import CoverageRunner, measure_coverage
+from repro.hdl.ast import BinaryOp, Ref, UnaryOp
+from repro.hdl.parser import parse_module
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import DirectedStimulus, RandomStimulus
+
+
+class TestMetricReport:
+    def test_percentages(self):
+        report = MetricReport("line", {1, 2, 3, 4}, {1, 2})
+        assert report.percent == 50.0
+        assert report.covered == 2 and report.total == 4
+        assert report.missed_points == {3, 4}
+
+    def test_empty_metric_is_vacuously_full(self):
+        assert MetricReport("fsm").percent == 100.0
+
+    def test_merge(self):
+        first = MetricReport("line", {1, 2}, {1})
+        second = MetricReport("line", {2, 3}, {3})
+        merged = first.merge(second)
+        assert merged.total == 3 and merged.covered == 2
+
+    def test_merge_name_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MetricReport("line").merge(MetricReport("branch"))
+
+    def test_coverage_report_accessors(self):
+        report = CoverageReport("m")
+        report.add(MetricReport("line", {1}, {1}))
+        assert report.percent("line") == 100.0
+        assert report.get("branch") is None
+        assert report.as_dict() == {"line": 100.0}
+        with pytest.raises(KeyError):
+            report.percent("branch")
+
+
+class TestStatementCoverage:
+    def test_reset_branch_only(self, arbiter2_module):
+        collector = StatementCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 1, "req0": 0, "req1": 0}]))
+        # Only the two reset assignments execute.
+        assert collector.report().covered == 2
+        assert collector.report().total == 4
+
+    def test_full_statement_coverage(self, arbiter2_module):
+        collector = StatementCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 1, "req0": 0, "req1": 0},
+                              {"rst": 0, "req0": 1, "req1": 0}]))
+        assert collector.percent == 100.0
+
+    def test_continuous_assigns_counted(self, wb_module):
+        collector = StatementCoverage(wb_module)
+        Simulator(wb_module, observers=[collector]).run(RandomStimulus(1, seed=0))
+        labels = {point[0] for point in collector.total_points}
+        assert "assign" in labels
+
+
+class TestBranchCoverage:
+    def test_both_arms_required(self, arbiter2_module):
+        collector = BranchCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 0, "req0": 0, "req1": 0}] * 3))
+        assert collector.percent == 50.0
+
+    def test_case_arms_and_default(self, b01_module):
+        collector = BranchCoverage(b01_module)
+        simulator = Simulator(b01_module, observers=[collector])
+        simulator.run(RandomStimulus(200, seed=1))
+        report = collector.report()
+        # Branch points: the reset if (2), the 8 case arms (7 labelled +
+        # default) and the two arms of each of the 7 nested ifs.
+        assert report.total == 2 + 8 + 7 * 2
+        case_points = {point for point in report.total_points if str(point[1]).startswith("item")
+                       or point[1] == "default"}
+        assert len(case_points) == 8
+        assert report.percent > 50.0
+
+
+class TestConditionCoverage:
+    def test_atoms_decomposed(self):
+        expr = BinaryOp("&&", Ref("a"), UnaryOp("!", BinaryOp("==", Ref("b"), Ref("c"))))
+        atoms = condition_atoms(expr)
+        assert len(atoms) == 2
+
+    def test_condition_requires_both_polarities(self, arbiter2_module):
+        collector = ConditionCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 0, "req0": 1, "req1": 0}] * 4))
+        # rst was only ever 0: one of its two bins is missed.
+        assert collector.percent == 50.0
+
+    def test_full_condition_coverage(self, arbiter2_module):
+        collector = ConditionCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 1, "req0": 0, "req1": 0},
+                              {"rst": 0, "req0": 0, "req1": 0}]))
+        assert collector.percent == 100.0
+
+
+class TestExpressionCoverage:
+    def test_bins_only_for_boolean_subexpressions(self, arbiter2_module):
+        collector = ExpressionCoverage(arbiter2_module)
+        assert collector.report().total > 0
+        assert all(value in (0, 1) for _, value in collector.total_points)
+
+    def test_expression_coverage_increases_with_stimulus(self, arbiter2_module):
+        short = ExpressionCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[short]).run(
+            DirectedStimulus([{"rst": 0, "req0": 0, "req1": 0}]))
+        rich = ExpressionCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[rich]).run(RandomStimulus(60, seed=3))
+        assert rich.percent > short.percent
+
+
+class TestToggleCoverage:
+    def test_requires_rise_and_fall(self, arbiter2_module):
+        collector = ToggleCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 0, "req0": 1, "req1": 1},
+                              {"rst": 0, "req0": 0, "req1": 0},
+                              {"rst": 0, "req0": 1, "req1": 1}]))
+        report = collector.report()
+        assert ("req0", 0, "rise") in report.covered_points
+        assert ("req0", 0, "fall") in report.covered_points
+
+    def test_constant_signal_never_toggles(self, arbiter2_module):
+        collector = ToggleCoverage(arbiter2_module)
+        Simulator(arbiter2_module, observers=[collector]).run(
+            DirectedStimulus([{"rst": 0, "req0": 0, "req1": 0}] * 5))
+        assert collector.percent == 0.0
+
+    def test_clock_excluded(self, arbiter2_module):
+        collector = ToggleCoverage(arbiter2_module)
+        assert all(name != "clk" for name, _, _ in collector.total_points)
+
+    def test_vector_bits_tracked_individually(self, counter_module):
+        collector = ToggleCoverage(counter_module)
+        Simulator(counter_module, observers=[collector]).run(
+            DirectedStimulus([{"load": 0, "enable": 1, "load_value": 0}] * 10))
+        assert ("count", 0, "rise") in collector.covered_points
+        assert ("count", 2, "rise") in collector.covered_points
+
+
+class TestFsmCoverage:
+    def test_state_signal_auto_detected(self, b01_module):
+        collector = FsmCoverage(b01_module)
+        assert collector.state_signals == ["state"]
+        assert len(collector.total_points) == 8
+
+    def test_states_visited(self, b01_module):
+        collector = FsmCoverage(b01_module)
+        Simulator(b01_module, observers=[collector]).run(RandomStimulus(300, seed=2))
+        assert collector.percent > 60.0
+        assert collector.observed_transition_count() > 0
+
+    def test_explicit_state_signals(self, counter_module):
+        collector = FsmCoverage(counter_module, state_signals=["count"])
+        Simulator(counter_module, observers=[collector]).run(
+            DirectedStimulus([{"load": 0, "enable": 1, "load_value": 0}] * 9))
+        assert ("count", 0) in collector.covered_points
+
+    def test_design_without_fsm_has_no_points(self, arbiter2_module):
+        collector = FsmCoverage(arbiter2_module)
+        assert collector.total_points == set()
+
+
+class TestRunnerAndHelpers:
+    def test_runner_accumulates_over_suite(self, arbiter2_module):
+        runner = CoverageRunner(arbiter2_module)
+        runner.run_suite([
+            [{"rst": 1, "req0": 0, "req1": 0}],
+            [{"rst": 0, "req0": 1, "req1": 1}],
+        ])
+        assert runner.report().percent("line") == 100.0
+        assert runner.cycles_run == 2
+
+    def test_prepend_reset_covers_reset_branch(self, arbiter2_module):
+        plain = CoverageRunner(arbiter2_module)
+        plain.run_vectors([{"rst": 0, "req0": 1, "req1": 0}] * 3)
+        with_reset = CoverageRunner(arbiter2_module, prepend_reset=True)
+        with_reset.run_vectors([{"rst": 0, "req0": 1, "req1": 0}] * 3)
+        assert with_reset.report().percent("line") > plain.report().percent("line")
+
+    def test_measure_coverage_with_stimulus(self, arbiter2_module):
+        report = measure_coverage(arbiter2_module, RandomStimulus(50, seed=4))
+        assert set(report.metrics) >= {"line", "branch", "cond", "expr", "toggle"}
+
+    def test_measure_coverage_with_suite(self, arbiter2_module, arbiter2_seed):
+        report = measure_coverage(arbiter2_module, test_suite=[arbiter2_seed])
+        assert report.percent("line") > 0.0
+
+    def test_more_stimulus_never_reduces_coverage(self, b01_module):
+        short = measure_coverage(b01_module, RandomStimulus(10, seed=5))
+        runner = CoverageRunner(b01_module)
+        runner.run_stimulus(RandomStimulus(10, seed=5))
+        runner.run_stimulus(RandomStimulus(100, seed=6))
+        longer = runner.report()
+        for metric in short.metrics:
+            assert longer.percent(metric) >= short.percent(metric) - 1e-9

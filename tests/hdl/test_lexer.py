@@ -1,0 +1,108 @@
+"""Tests for the Verilog-subset lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl.errors import ParseError
+from repro.hdl.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source) if token.kind != "EOF"]
+
+
+class TestBasics:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "EOF"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("module foo_bar endmodule")
+        assert [t.kind for t in tokens[:3]] == ["KEYWORD", "IDENT", "KEYWORD"]
+
+    def test_identifier_with_dollar(self):
+        assert texts("sig$x") == ["sig$x"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* never closed")
+
+    def test_compiler_directive_skipped(self):
+        assert texts("`timescale 1ns/1ps\nmodule") == ["module"]
+
+
+class TestNumbers:
+    def test_plain_decimal(self):
+        token = tokenize("42")[0]
+        assert token.kind == "NUMBER" and token.value == 42 and token.width is None
+
+    def test_sized_binary(self):
+        token = tokenize("4'b1010")[0]
+        assert token.value == 10 and token.width == 4
+
+    def test_sized_hex(self):
+        token = tokenize("8'hFF")[0]
+        assert token.value == 255 and token.width == 8
+
+    def test_sized_decimal(self):
+        token = tokenize("3'd5")[0]
+        assert token.value == 5 and token.width == 3
+
+    def test_octal(self):
+        token = tokenize("6'o17")[0]
+        assert token.value == 0o17 and token.width == 6
+
+    def test_underscores_ignored(self):
+        token = tokenize("8'b1010_1010")[0]
+        assert token.value == 0xAA
+
+    def test_x_and_z_digits_become_zero(self):
+        token = tokenize("4'b1x0z")[0]
+        assert token.value == 0b1000
+
+    def test_unsized_based_literal_gets_minimal_width(self):
+        token = tokenize("'b101")[0]
+        assert token.value == 5 and token.width == 3
+
+    def test_bad_base_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("4'q1010")
+
+    def test_missing_digits_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("4'b;")
+
+
+class TestOperators:
+    def test_multi_character_operators(self):
+        assert texts("a <= b == c && d") == ["a", "<=", "b", "==", "c", "&&", "d"]
+
+    def test_maximal_munch_for_shift(self):
+        assert texts("a << 2") == ["a", "<<", "2"]
+
+    def test_reduction_nand(self):
+        assert texts("~& a") == ["~&", "a"]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a § b")
+        assert "line 1" in str(excinfo.value)

@@ -1,0 +1,248 @@
+"""Tests for the Verilog-subset parser and module validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hdl.ast import BinaryOp, Const, Ref, Ternary
+from repro.hdl.errors import ElaborationError, ParseError
+from repro.hdl.module import ProcessKind, SignalKind
+from repro.hdl.parser import parse_module, parse_modules
+from repro.hdl.stmt import Assign, Case, If
+
+
+class TestModuleHeader:
+    def test_non_ansi_ports(self, arbiter2_source):
+        module = parse_module(arbiter2_source)
+        assert module.name == "arbiter2"
+        assert module.input_names == ["clk", "rst", "req0", "req1"]
+        assert module.output_names == ["gnt0", "gnt1"]
+
+    def test_ansi_ports(self):
+        module = parse_module("""
+            module m(input clk, input rst, input [3:0] a, output reg [3:0] q);
+              always @(posedge clk) begin
+                if (rst) q <= 0; else q <= a;
+              end
+            endmodule
+        """)
+        assert module.width_of("a") == 4
+        assert module.width_of("q") == 4
+        assert module.signal("a").kind is SignalKind.INPUT
+
+    def test_empty_port_list(self):
+        module = parse_module("module empty(); endmodule")
+        assert module.ports == []
+
+    def test_multiple_modules(self):
+        modules = parse_modules("""
+            module a(x); input x; endmodule
+            module b(y); input y; endmodule
+        """)
+        assert [m.name for m in modules] == ["a", "b"]
+
+    def test_select_module_by_name(self):
+        source = "module a(x); input x; endmodule module b(y); input y; endmodule"
+        assert parse_module(source, "b").name == "b"
+
+    def test_missing_named_module_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module a(x); input x; endmodule", "zzz")
+
+    def test_two_modules_without_name_raises(self):
+        with pytest.raises(ParseError):
+            parse_module("module a(); endmodule module b(); endmodule")
+
+    def test_no_module_raises(self):
+        with pytest.raises(ParseError):
+            parse_modules("   // nothing here\n")
+
+
+class TestDeclarations:
+    def test_vector_wire_and_reg(self):
+        module = parse_module("""
+            module m(a, y); input [7:0] a; output [7:0] y;
+              wire [7:0] t;
+              assign t = a;
+              assign y = t;
+            endmodule
+        """)
+        assert module.width_of("t") == 8
+        assert module.signal("t").kind is SignalKind.WIRE
+
+    def test_output_reg_two_step_declaration(self):
+        module = parse_module("""
+            module m(clk, y); input clk; output y; reg y;
+              always @(posedge clk) y <= 1;
+            endmodule
+        """)
+        assert module.signal("y").kind is SignalKind.OUTPUT
+
+    def test_parameter_folding(self):
+        module = parse_module("""
+            module m(a, y); input [3:0] a; output y;
+              parameter THRESHOLD = 5;
+              assign y = (a > THRESHOLD);
+            endmodule
+        """)
+        expr = module.assigns[0].expr
+        assert isinstance(expr, BinaryOp)
+        assert isinstance(expr.right, Const) and expr.right.value == 5
+
+    def test_localparam_in_case_labels(self):
+        module = parse_module("""
+            module m(clk, sel, y); input clk; input [1:0] sel; output reg y;
+              localparam PICK = 2;
+              always @(posedge clk) begin
+                case (sel)
+                  PICK: y <= 1;
+                  default: y <= 0;
+                endcase
+              end
+            endmodule
+        """)
+        case = next(s for s in module.iter_statements() if isinstance(s, Case))
+        assert case.items[0].labels == (2,)
+
+    def test_reg_initialisation_becomes_reset_value(self):
+        module = parse_module("""
+            module m(clk, y); input clk; output y;
+              reg state = 1;
+              assign y = state;
+              always @(posedge clk) state <= ~state;
+            endmodule
+        """)
+        assert module.signal("state").reset_value == 1
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises((ParseError, ElaborationError)):
+            parse_module("module m(a); input a; wire a; endmodule")
+
+
+class TestBehaviour:
+    def test_continuous_assign_expression(self):
+        module = parse_module("""
+            module m(a, b, y); input a, b; output y;
+              assign y = a ? b : ~b;
+            endmodule
+        """)
+        assert isinstance(module.assigns[0].expr, Ternary)
+
+    def test_sequential_process_detected(self, arbiter2_source):
+        module = parse_module(arbiter2_source)
+        assert module.processes[0].kind is ProcessKind.SEQUENTIAL
+        assert module.clock == "clk"
+        assert module.reset == "rst"
+
+    def test_combinational_process_star(self):
+        module = parse_module("""
+            module m(a, y); input a; output y; reg y;
+              always @* y = ~a;
+            endmodule
+        """)
+        assert module.processes[0].kind is ProcessKind.COMBINATIONAL
+
+    def test_combinational_process_sensitivity_list(self):
+        module = parse_module("""
+            module m(a, b, y); input a, b; output y; reg y;
+              always @(a or b) y = a & b;
+            endmodule
+        """)
+        assert module.processes[0].kind is ProcessKind.COMBINATIONAL
+
+    def test_async_reset_style_accepted(self):
+        module = parse_module("""
+            module m(clk, rst, y); input clk, rst; output reg y;
+              always @(posedge clk or posedge rst) begin
+                if (rst) y <= 0; else y <= ~y;
+              end
+            endmodule
+        """)
+        assert module.processes[0].clock == "clk"
+
+    def test_if_without_else(self):
+        module = parse_module("""
+            module m(clk, en, y); input clk, en; output reg y;
+              always @(posedge clk) begin
+                if (en) y <= 1;
+              end
+            endmodule
+        """)
+        statement = next(s for s in module.iter_statements() if isinstance(s, If))
+        assert statement.otherwise is None
+
+    def test_case_with_multiple_labels(self):
+        module = parse_module("""
+            module m(clk, sel, y); input clk; input [1:0] sel; output reg y;
+              always @(posedge clk) begin
+                case (sel)
+                  0, 1: y <= 0;
+                  default: y <= 1;
+                endcase
+              end
+            endmodule
+        """)
+        case = next(s for s in module.iter_statements() if isinstance(s, Case))
+        assert case.items[0].labels == (0, 1)
+
+    def test_blocking_vs_nonblocking(self):
+        module = parse_module("""
+            module m(clk, a, y, z); input clk, a; output reg y; output z; reg z;
+              always @* z = a;
+              always @(posedge clk) y <= a;
+            endmodule
+        """)
+        assigns = list(module.iter_assignments())
+        blocking = {a.target: a.blocking for a in assigns}
+        assert blocking["z"] is True
+        assert blocking["y"] is False
+
+    def test_operator_precedence(self):
+        module = parse_module("""
+            module m(a, b, c, y); input a, b, c; output y;
+              assign y = a | b & c;
+            endmodule
+        """)
+        expr = module.assigns[0].expr
+        assert isinstance(expr, BinaryOp) and expr.op == "|"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "&"
+
+    def test_concat_and_part_select(self):
+        module = parse_module("""
+            module m(a, y); input [3:0] a; output [3:0] y;
+              assign y = {a[2:0], a[3]};
+            endmodule
+        """)
+        assert module.assigns[0].expr.signals() == {"a"}
+
+
+class TestValidation:
+    def test_undeclared_signal_rejected(self):
+        with pytest.raises(ElaborationError):
+            parse_module("module m(a, y); input a; output y; assign y = a & missing; endmodule")
+
+    def test_multiple_drivers_rejected(self):
+        with pytest.raises(ElaborationError):
+            parse_module("""
+                module m(a, y); input a; output y;
+                  assign y = a;
+                  assign y = ~a;
+                endmodule
+            """)
+
+    def test_driven_input_rejected(self):
+        with pytest.raises(ElaborationError):
+            parse_module("module m(a, y); input a; output y; assign a = 1; assign y = a; endmodule")
+
+    def test_unexpected_token_reports_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_module("module m(a);\n input a;\n garbage here;\n endmodule")
+        assert "line 3" in str(excinfo.value)
+
+    def test_state_names_for_registers(self, arbiter2_source):
+        module = parse_module(arbiter2_source)
+        assert module.state_names == ["gnt0", "gnt1"]
+
+    def test_data_inputs_exclude_clock_and_reset(self, arbiter2_source):
+        module = parse_module(arbiter2_source)
+        assert module.data_input_names == ["req0", "req1"]

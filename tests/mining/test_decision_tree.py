@@ -1,0 +1,232 @@
+"""Tests for the decision-tree learner and the incremental decision tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.assertions.assertion import Literal
+from repro.mining.dataset import MiningDataset
+from repro.mining.decision_tree import DecisionTree, node_statistics
+from repro.mining.incremental_tree import IncrementalDecisionTree
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import DirectedStimulus, RandomStimulus
+
+
+def cex_dataset(module, rows):
+    """Dataset over cex_small's z with explicit (a, b, c, d, z) rows."""
+    dataset = MiningDataset(module, "z", window=1)
+    for a, b, c, d in rows:
+        simulator = Simulator(module)
+        simulator.reset()
+        sampled = simulator.step({"a": a, "b": b, "c": c, "d": d})
+        dataset.add_window({0: sampled})
+    return dataset
+
+
+class TestNodeStatistics:
+    def test_empty(self):
+        assert node_statistics([]) == (0.0, 0.0)
+
+    def test_pure(self):
+        mean, error = node_statistics([1, 1, 1])
+        assert mean == 1.0 and error == 0.0
+
+    def test_mixed(self):
+        mean, error = node_statistics([0, 1])
+        assert mean == 0.5 and error == pytest.approx(0.5)
+
+
+class TestDecisionTree:
+    def test_pure_leaves_have_zero_error(self, cex_small_module):
+        dataset = cex_dataset(cex_small_module,
+                              [(0, 0, 0, 0), (1, 1, 0, 0), (1, 0, 1, 0), (1, 0, 0, 0)])
+        tree = DecisionTree(dataset)
+        tree.build()
+        for leaf in tree.leaves():
+            if leaf.rows:
+                assert leaf.error == 0.0
+
+    def test_leaves_partition_rows(self, arbiter2_module):
+        simulator = Simulator(arbiter2_module)
+        dataset = MiningDataset(arbiter2_module, "gnt0", window=1)
+        dataset.add_trace(simulator.run(RandomStimulus(30, seed=3)))
+        tree = DecisionTree(dataset)
+        tree.build()
+        leaf_rows = [index for leaf in tree.leaves() for index in leaf.rows]
+        assert sorted(leaf_rows) == list(range(len(dataset)))
+
+    def test_predictions_match_training_data_when_pure(self, cex_small_module):
+        dataset = cex_dataset(cex_small_module,
+                              [(a, b, c, 0) for a in (0, 1) for b in (0, 1) for c in (0, 1)])
+        tree = DecisionTree(dataset)
+        tree.build()
+        for features, target in dataset.rows:
+            assert tree.predict(features) == target
+
+    def test_candidate_assertions_hold_on_training_data(self, arbiter2_module):
+        simulator = Simulator(arbiter2_module)
+        dataset = MiningDataset(arbiter2_module, "gnt0", window=2)
+        dataset.add_trace(simulator.run(RandomStimulus(20, seed=5)))
+        tree = DecisionTree(dataset)
+        assertions = tree.candidate_assertions()
+        assert assertions, "expected at least one 100%-confidence candidate"
+        for assertion in assertions:
+            for features, target in dataset.rows:
+                window = _window_from_features(dataset, features, target)
+                assert assertion.holds(window)
+
+    def test_candidate_depth_equals_leaf_depth(self, arbiter2_module):
+        simulator = Simulator(arbiter2_module)
+        dataset = MiningDataset(arbiter2_module, "gnt0", window=1)
+        dataset.add_trace(simulator.run(RandomStimulus(15, seed=1)))
+        tree = DecisionTree(dataset)
+        tree.build()
+        for leaf in tree.leaves():
+            if leaf.is_pure:
+                assert tree.assertion_for_leaf(leaf).depth == leaf.depth
+
+    def test_max_depth_limits_tree(self, arbiter2_module):
+        simulator = Simulator(arbiter2_module)
+        dataset = MiningDataset(arbiter2_module, "gnt0", window=2)
+        dataset.add_trace(simulator.run(RandomStimulus(40, seed=2)))
+        tree = DecisionTree(dataset, max_depth=1)
+        tree.build()
+        assert all(leaf.depth <= 1 for leaf in tree.leaves())
+
+    def test_empty_dataset_yields_default_assertion(self, arbiter2_module):
+        dataset = MiningDataset(arbiter2_module, "gnt0", window=1)
+        tree = DecisionTree(dataset)
+        candidates = tree.candidate_assertions()
+        assert len(candidates) == 1
+        assert candidates[0].antecedent == ()
+        assert candidates[0].consequent == Literal("gnt0", 0, 1)
+
+    def test_contradictory_rows_produce_no_candidate(self, cex_small_module):
+        dataset = MiningDataset(cex_small_module, "z", window=1)
+        dataset.add_window({0: {"a": 1, "b": 1, "c": 0, "d": 0, "z": 1}})
+        dataset.add_window({0: {"a": 1, "b": 1, "c": 0, "d": 0, "z": 0}})
+        tree = DecisionTree(dataset)
+        assert tree.candidate_assertions() == []
+        assert tree.impure_leaves()
+
+    def test_dump_is_textual(self, arbiter2_module):
+        simulator = Simulator(arbiter2_module)
+        dataset = MiningDataset(arbiter2_module, "gnt0", window=1)
+        dataset.add_trace(simulator.run(RandomStimulus(10, seed=4)))
+        tree = DecisionTree(dataset)
+        tree.build()
+        assert "M=" in tree.dump() and "E=" in tree.dump()
+
+
+def _window_from_features(dataset, features, target):
+    """Reconstruct per-cycle valuations from a dataset row for holds()."""
+    window: dict[int, dict[str, int]] = {}
+    for spec in dataset.features:
+        cycle_values = window.setdefault(spec.cycle, {})
+        value = features[spec.column]
+        if spec.bit is None:
+            cycle_values[spec.signal] = value
+        else:
+            current = cycle_values.get(spec.signal, 0)
+            cycle_values[spec.signal] = current | (value << spec.bit)
+    target_values = window.setdefault(dataset.target.cycle, {})
+    if dataset.target.bit is None:
+        target_values[dataset.target.signal] = target
+    else:
+        target_values[dataset.target.signal] = target << dataset.target.bit
+    return window
+
+
+class TestIncrementalTree:
+    def _seed_tree(self, module, cycles=8, window=2, seed=1):
+        simulator = Simulator(module)
+        dataset = MiningDataset(module, "gnt0", window=window)
+        dataset.add_trace(simulator.run(RandomStimulus(cycles, seed=seed)))
+        tree = IncrementalDecisionTree(dataset)
+        tree.build()
+        return simulator, dataset, tree
+
+    def test_absorb_without_new_rows_is_noop(self, arbiter2_module):
+        _, _, tree = self._seed_tree(arbiter2_module)
+        before = tree.structure_signature()
+        assert tree.absorb_new_rows() == []
+        assert tree.structure_signature() == before
+
+    def test_variable_ordering_preserved_above_refined_leaf(self, arbiter2_module):
+        simulator, dataset, tree = self._seed_tree(arbiter2_module, cycles=6, seed=7)
+
+        def spine(node):
+            result = []
+            while not node.is_leaf:
+                result.append(node.split_column)
+                node = node.children[0]
+            return result
+
+        before_root_split = tree.root.split_column
+        extra = simulator.run(RandomStimulus(20, seed=99))
+        dataset.add_trace(extra)
+        tree.absorb_new_rows()
+        if before_root_split is not None:
+            assert tree.root.split_column == before_root_split
+
+    def test_new_rows_reach_every_statistic(self, arbiter2_module):
+        simulator, dataset, tree = self._seed_tree(arbiter2_module)
+        total_before = len(tree.root.rows)
+        dataset.add_trace(simulator.run(RandomStimulus(5, seed=42)))
+        tree.absorb_new_rows()
+        assert len(tree.root.rows) == len(dataset) > total_before
+        leaf_rows = [i for leaf in tree.leaves() for i in leaf.rows]
+        assert sorted(leaf_rows) == list(range(len(dataset)))
+
+    def test_contradicting_row_resplits_only_that_leaf(self, cex_small_module):
+        dataset = MiningDataset(cex_small_module, "z", window=1)
+        # Seed data where the miner will conclude "a=1 -> z=1".
+        dataset.add_window({0: {"a": 1, "b": 1, "c": 0, "d": 0, "z": 1}})
+        dataset.add_window({0: {"a": 0, "b": 0, "c": 1, "d": 0, "z": 0}})
+        tree = IncrementalDecisionTree(dataset)
+        tree.build()
+        spurious = [a for a in tree.candidate_assertions()
+                    if a.consequent.value == 1]
+        assert spurious, "expected a spurious a=1 -> z=1 style candidate"
+        # A counterexample row: a=1 but b=0, c=0 gives z=0.
+        dataset.add_window({0: {"a": 1, "b": 0, "c": 0, "d": 0, "z": 0}})
+        refined = tree.absorb_new_rows()
+        assert len(refined) == 1
+        # The previously spurious rule must not be regenerated (100% rule).
+        assert spurious[0] not in tree.candidate_assertions()
+
+    def test_candidate_set_grows_more_specific(self, arbiter2_module):
+        simulator, dataset, tree = self._seed_tree(arbiter2_module, cycles=5, seed=3)
+        dataset.add_trace(simulator.run(RandomStimulus(40, seed=8)))
+        tree.absorb_new_rows()
+        after = tree.candidate_assertions()
+        # Depth can never exceed the feature count, and every candidate is
+        # still 100%-confidence on the enlarged dataset.
+        assert all(a.depth <= len(dataset.features) for a in after)
+        for assertion in after:
+            for features, target in dataset.rows:
+                assert assertion.holds(_window_from_features(dataset, features, target))
+
+    def test_is_final_requires_all_leaves_proven(self, arbiter2_module):
+        _, _, tree = self._seed_tree(arbiter2_module)
+        candidates = tree.candidate_assertions()
+        assert not tree.is_final([])
+        assert tree.is_final(candidates)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), cycles=st.integers(3, 25))
+def test_property_pure_leaves_always_give_consistent_assertions(seed, cycles):
+    """Candidate assertions are 100%-confidence: no training row violates them."""
+    from repro.designs import arbiter2
+
+    module = arbiter2()
+    simulator = Simulator(module)
+    dataset = MiningDataset(module, "gnt0", window=1)
+    dataset.add_trace(simulator.run(RandomStimulus(cycles, seed=seed)))
+    tree = DecisionTree(dataset)
+    for assertion in tree.candidate_assertions():
+        for features, target in dataset.rows:
+            window = _window_from_features(dataset, features, target)
+            assert assertion.holds(window)
