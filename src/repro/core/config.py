@@ -25,6 +25,13 @@ class GoldMineConfig:
     * ``random_cycles`` / ``random_seed`` — the data generator's random
       stimulus phase (Section 2.1 simulates "a fixed number of cycles using
       random input patterns").
+    * ``sim_engine`` / ``sim_lanes`` — simulation back end: ``scalar``
+      (the interpreting simulator) or ``batched`` (the bit-parallel
+      engine in :mod:`repro.sim.batched`, which packs ``sim_lanes``
+      independent trials per step).  The batched engine splits the
+      random-cycle budget across lanes (many short from-reset runs
+      instead of one long one), which both speeds up data generation by
+      orders of magnitude and diversifies the mining dataset.
     """
 
     window: int = 1
@@ -38,6 +45,8 @@ class GoldMineConfig:
     input_bias: Mapping[str, float] = field(default_factory=dict)
     max_states: int = 50_000
     max_input_combinations: int = 4_096
+    sim_engine: str = "scalar"
+    sim_lanes: int = 64
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -46,3 +55,11 @@ class GoldMineConfig:
             raise ValueError("max_iterations must be at least 1")
         if self.random_cycles < 0:
             raise ValueError("random_cycles cannot be negative")
+        from repro.sim.base import SIM_ENGINES
+
+        if self.sim_engine not in SIM_ENGINES:
+            raise ValueError(
+                f"sim_engine must be one of {SIM_ENGINES}, got '{self.sim_engine}'"
+            )
+        if self.sim_lanes < 1:
+            raise ValueError("sim_lanes must be at least 1")

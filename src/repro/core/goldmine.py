@@ -83,6 +83,31 @@ class GoldMine:
         simulator = Simulator(self.module)
         return simulator.run(stimulus)
 
+    def generate_traces(self, stimulus: Stimulus | None = None) -> list[Trace]:
+        """Run the data-generator phase on the configured simulation engine.
+
+        With ``sim_engine="scalar"`` (or an explicit ``stimulus``) this is
+        one interpreted run.  With ``sim_engine="batched"`` the random
+        cycle budget is split across up to ``sim_lanes`` independent
+        from-reset trials simulated bit-parallel, returning one trace per
+        lane; each lane must still span at least one mining window.
+        """
+        if stimulus is not None or self.config.sim_engine != "batched":
+            return [self.generate_data(stimulus)]
+        from repro.sim.batched import random_batch_traces
+
+        cycles = self.config.random_cycles or 64
+        # A lane shorter than window+1 cycles contributes no mining rows;
+        # beyond that, keep lanes * per_lane within the configured cycle
+        # budget so engine choice does not change the amount of data.
+        min_lane_cycles = self.config.window + 1
+        lanes = max(1, min(self.config.sim_lanes, cycles // min_lane_cycles))
+        per_lane = max(min_lane_cycles, cycles // lanes)
+        return random_batch_traces(
+            self.module, per_lane, lanes=lanes,
+            seed=self.config.random_seed, bias=self.config.input_bias,
+        )
+
     # ------------------------------------------------------------------
     # target enumeration
     # ------------------------------------------------------------------
@@ -119,8 +144,7 @@ class GoldMine:
                     bit: int | None = None) -> MiningSummary:
         """Run A-Miner + formal verification for one output bit."""
         dataset = self.build_dataset(output, bit)
-        for trace in traces:
-            dataset.add_trace(trace)
+        dataset.add_traces(traces)
         tree = DecisionTree(dataset, max_depth=self.config.max_depth)
         tree.build()
         candidates = tree.candidate_assertions()
@@ -139,11 +163,12 @@ class GoldMine:
              stimulus: Stimulus | None = None) -> MiningReport:
         """Mine assertions for every requested output from the given traces.
 
-        When ``traces`` is omitted, the data generator produces a random
-        trace first (``stimulus`` overrides the random default).
+        When ``traces`` is omitted, the data generator produces random
+        traces first on the configured simulation engine (``stimulus``
+        overrides the random default).
         """
         if traces is None:
-            traces = [self.generate_data(stimulus)]
+            traces = self.generate_traces(stimulus)
         else:
             traces = list(traces)
         report = MiningReport(self.module.name)

@@ -18,15 +18,36 @@ class CoverageRunner:
     the design between sequences, which is how the refined test suite —
     seed plus every counterexample pattern — is applied); coverage points
     accumulate across all of them.
+
+    ``engine`` selects how sequences are replayed: ``"scalar"`` drives the
+    observer-instrumented interpreter one sequence at a time, while
+    ``"batched"`` packs up to ``lanes`` sequences into the bit-parallel
+    engine and evaluates compiled cover-point guards lane-parallel
+    (:mod:`repro.coverage.batched`).  Both engines fill the same
+    collectors, and produce identical reports for identical stimulus.
     """
 
     def __init__(self, module: Module, collectors: Sequence[CoverageCollector] | None = None,
                  fsm_signals: Sequence[str] | None = None,
-                 prepend_reset: bool = False):
+                 prepend_reset: bool = False,
+                 engine: str = "scalar", lanes: int = 64):
         self.module = module
         self.collectors = list(collectors) if collectors is not None else \
             default_collectors(module, fsm_signals)
-        self.simulator = Simulator(module, observers=self.collectors)
+        self.engine = engine
+        if engine == "scalar":
+            self.simulator = Simulator(module, observers=self.collectors)
+            self._batched = None
+        elif engine == "batched":
+            from repro.coverage.batched import BatchedCoverage
+
+            self.simulator = None
+            self._batched = BatchedCoverage(module, self.collectors, lanes=lanes)
+        else:
+            from repro.sim.base import SIM_ENGINES
+
+            raise ValueError(f"unknown coverage engine '{engine}' "
+                             f"(expected one of {SIM_ENGINES})")
         self.cycles_run = 0
         #: When true, every replayed sequence starts with one cycle of
         #: asserted reset (the way a real testbench applies each test),
@@ -34,13 +55,20 @@ class CoverageRunner:
         self.prepend_reset = prepend_reset
 
     # ------------------------------------------------------------------
+    def _with_reset(self, vectors: Sequence[Mapping[str, int]]) -> list[dict[str, int]]:
+        if not self.prepend_reset or self.module.reset is None:
+            return [dict(v) for v in vectors]
+        prefixed: list[dict[str, int]] = [{self.module.reset: 1}]
+        prefixed.extend({**dict(v), self.module.reset: 0} for v in vectors)
+        return prefixed
+
     def run_stimulus(self, stimulus: Stimulus) -> None:
-        if self.prepend_reset and self.module.reset is not None:
-            vectors = [{self.module.reset: 1}]
-            vectors.extend({**dict(v), self.module.reset: 0}
-                           for v in stimulus.cycles(self.module))
-            stimulus = DirectedStimulus(vectors)
-        trace = self.simulator.run(stimulus, reset=True)
+        vectors = self._with_reset(list(stimulus.cycles(self.module)))
+        if self._batched is not None:
+            if vectors:
+                self.cycles_run += self._batched.run_suite([vectors])
+            return
+        trace = self.simulator.run(DirectedStimulus(vectors), reset=True)
         self.cycles_run += len(trace)
 
     def run_vectors(self, vectors: Sequence[Mapping[str, int]]) -> None:
@@ -49,6 +77,10 @@ class CoverageRunner:
         self.run_stimulus(DirectedStimulus([dict(v) for v in vectors]))
 
     def run_suite(self, test_suite: Iterable[Sequence[Mapping[str, int]]]) -> None:
+        if self._batched is not None:
+            sequences = [self._with_reset(sequence) for sequence in test_suite if sequence]
+            self.cycles_run += self._batched.run_suite(sequences)
+            return
         for sequence in test_suite:
             self.run_vectors(sequence)
 
@@ -64,13 +96,16 @@ def measure_coverage(module: Module,
                      stimulus: Stimulus | Sequence[Mapping[str, int]] |
                      Iterable[Sequence[Mapping[str, int]]] | None = None,
                      test_suite: Iterable[Sequence[Mapping[str, int]]] | None = None,
-                     fsm_signals: Sequence[str] | None = None) -> CoverageReport:
+                     fsm_signals: Sequence[str] | None = None,
+                     engine: str = "scalar", lanes: int = 64) -> CoverageReport:
     """Measure coverage of ``stimulus`` and/or a ``test_suite`` on ``module``.
 
     ``stimulus`` may be a :class:`Stimulus` or one explicit vector list;
     ``test_suite`` is a list of vector lists (each replayed from reset).
+    ``engine`` picks the scalar or batched coverage engine (see
+    :class:`CoverageRunner`).
     """
-    runner = CoverageRunner(module, fsm_signals=fsm_signals)
+    runner = CoverageRunner(module, fsm_signals=fsm_signals, engine=engine, lanes=lanes)
     if stimulus is not None:
         if isinstance(stimulus, Stimulus):
             runner.run_stimulus(stimulus)

@@ -78,8 +78,16 @@ def run(designs: Sequence[str] | None = None,
         random_seed: int = 13,
         goldmine_seed_cycles: int = 25,
         max_iterations: int = 16,
-        max_depth: int | None = 8) -> Fig16Result:
-    """Run the ITC'99 coverage comparison."""
+        max_depth: int | None = 8,
+        sim_engine: str = "scalar",
+        sim_lanes: int = 64) -> Fig16Result:
+    """Run the ITC'99 coverage comparison.
+
+    ``sim_engine``/``sim_lanes`` select the simulation back end for both
+    the mining data generator and the suite coverage replay (see
+    :class:`repro.core.config.GoldMineConfig`); results are identical,
+    the batched engine is just faster on the refined suites.
+    """
     cycles = dict(DEFAULT_CYCLES if cycles is None else cycles)
     designs = list(designs) if designs is not None else list(cycles)
     result = Fig16Result()
@@ -89,7 +97,8 @@ def run(designs: Sequence[str] | None = None,
 
         # Random baseline.
         baseline_module = meta.build()
-        runner = CoverageRunner(baseline_module, fsm_signals=meta.fsm_signals or None)
+        runner = CoverageRunner(baseline_module, fsm_signals=meta.fsm_signals or None,
+                                engine=sim_engine, lanes=sim_lanes)
         runner.run_stimulus(RandomStimulus(budget, seed=random_seed))
         baseline_report = runner.report()
         result.rows.append(CoverageRow(
@@ -103,14 +112,16 @@ def run(designs: Sequence[str] | None = None,
         # plus every counterexample pattern produced by the refinement loop.
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
-                                max_depth=max_depth)
+                                max_depth=max_depth, sim_engine=sim_engine,
+                                sim_lanes=sim_lanes)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(
             RandomStimulus(min(goldmine_seed_cycles, budget), seed=random_seed)
         )
         goldmine_module = meta.build()
-        goldmine_runner = CoverageRunner(goldmine_module, fsm_signals=meta.fsm_signals or None)
+        goldmine_runner = CoverageRunner(goldmine_module, fsm_signals=meta.fsm_signals or None,
+                                         engine=sim_engine, lanes=sim_lanes)
         # The GoldMine method still has the full random baseline available to
         # it (the paper compares suites, not seeds): replay baseline + refined
         # patterns so the comparison is "random" vs "random + counterexamples".

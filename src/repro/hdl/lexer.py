@@ -162,7 +162,7 @@ class Lexer:
         start = self._pos
         width: int | None = None
         # Optional size prefix before a base marker.
-        while self._peek().isdigit() or self._peek() == "_":
+        while self._pos < len(self._source) and (self._peek().isdigit() or self._peek() == "_"):
             self._advance()
         size_text = self._source[start:self._pos].replace("_", "")
         if self._peek() == "'":
@@ -174,7 +174,11 @@ class Lexer:
                 raise ParseError(f"unknown number base '{base_char}'", line, column)
             self._advance()
             digits_start = self._pos
-            while self._peek().isalnum() or self._peek() in "_xzXZ?":
+            # The EOF sentinel is the empty string, and ``"" in s`` is True
+            # for any s — guard on position or the loop never terminates.
+            while self._pos < len(self._source) and (
+                self._peek().isalnum() or self._peek() in "_xzXZ?"
+            ):
                 self._advance()
             digits = self._source[digits_start:self._pos].replace("_", "")
             if not digits:

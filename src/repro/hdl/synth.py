@@ -115,7 +115,7 @@ def synthesize(module: Module) -> SynthesizedModule:
     result = SynthesizedModule(module)
 
     for assign in module.assigns:
-        result.comb[assign.target] = assign.expr
+        result.comb[assign.target] = _truncate(module, assign.target, assign.expr)
 
     for process in module.processes:
         targets = sorted(process.assigned_signals())
@@ -123,15 +123,42 @@ def synthesize(module: Module) -> SynthesizedModule:
             defaults: dict[str, Expr] = {name: Ref(name) for name in targets}
             final = _walk_block(process.body, defaults, blocking_visible=False)
             for name in targets:
-                result.next_state[name] = final[name]
+                result.next_state[name] = _truncate(module, name, final[name])
         else:
             defaults = {name: Ref(name) for name in targets}
             final = _walk_block(process.body, defaults, blocking_visible=True)
             for name in targets:
-                result.comb[name] = final[name]
+                result.comb[name] = _truncate(module, name, final[name])
 
     result.comb_order = _order_combinational(module, result.comb)
     return result
+
+
+class _WidthOnlyContext:
+    """Adapter exposing only declared widths to :meth:`Expr.width`."""
+
+    def __init__(self, module: Module):
+        self._module = module
+
+    def read(self, name: str) -> int:  # pragma: no cover - never used
+        raise ElaborationError("width context cannot read values")
+
+    def width_of(self, name: str) -> int:
+        return self._module.width_of(name)
+
+
+def _truncate(module: Module, target: str, expr: Expr) -> Expr:
+    """Mask ``expr`` to ``target``'s declared width when it could be wider.
+
+    The interpreter masks every assignment to the target's declared width;
+    without the same truncation a synthesized next-state function such as
+    ``pc + 1`` (whose unsized literal is 32 bits wide) disagrees with the
+    simulator whenever the arithmetic overflows the register.
+    """
+    width = module.width_of(target)
+    if expr.width(_WidthOnlyContext(module)) <= width:
+        return expr
+    return BinaryOp("&", expr, Const((1 << width) - 1, width))
 
 
 def _walk_block(block: Block, env: Mapping[str, Expr], blocking_visible: bool) -> dict[str, Expr]:

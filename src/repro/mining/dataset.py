@@ -157,6 +157,17 @@ class MiningDataset:
             added += self._add_window(window_rows)
         return added
 
+    def add_traces(self, traces: Iterable[Trace]) -> int:
+        """Extract windows from several traces; returns total rows added.
+
+        This is the natural ingestion point for the batched simulation
+        engine, whose data generator returns one trace per lane
+        (:meth:`repro.core.goldmine.GoldMine.generate_traces` /
+        :func:`repro.sim.batched.random_batch_traces`): windows never
+        straddle lane boundaries, since every lane starts from reset.
+        """
+        return sum(self.add_trace(trace) for trace in traces)
+
     def add_window(self, valuations: Mapping[int, Mapping[str, int]]) -> bool:
         """Add one explicit window of per-offset valuations."""
         return self._add_window(valuations)

@@ -1,13 +1,27 @@
 """Cycle-accurate simulation of the Verilog-subset designs.
 
-* :mod:`repro.sim.simulator` — two-phase interpreter (combinational settle,
-  clock edge) with an observer hook used by the coverage engines.
+* :mod:`repro.sim.base` — the :class:`SimulatorBase` interface both
+  engines implement, plus the :func:`create_simulator` engine factory.
+* :mod:`repro.sim.simulator` — scalar two-phase interpreter (combinational
+  settle, clock edge) with an observer hook used by the coverage engines.
+* :mod:`repro.sim.batched` — bit-parallel batched engine: ``W``
+  independent trials packed into big-int lanes, advanced by compiled
+  next-state functions one cycle at a time.
 * :mod:`repro.sim.trace` — per-cycle value tables produced by simulation.
 * :mod:`repro.sim.stimulus` — random, directed, constant and replay
   stimulus generators (the paper's "data generator").
 * :mod:`repro.sim.vcd` — minimal VCD dumping for waveform inspection.
 """
 
+from repro.sim.base import SIM_ENGINES, SimulatorBase, create_simulator
+from repro.sim.batched import (
+    BatchedSimulator,
+    BatchSample,
+    CompiledNetlist,
+    pack_lanes,
+    random_batch_traces,
+    unpack_lanes,
+)
 from repro.sim.observer import Observer
 from repro.sim.simulator import SimulationError, Simulator
 from repro.sim.stimulus import (
@@ -21,14 +35,23 @@ from repro.sim.stimulus import (
 from repro.sim.trace import Trace
 
 __all__ = [
+    "BatchSample",
+    "BatchedSimulator",
+    "CompiledNetlist",
     "ConstantStimulus",
     "DirectedStimulus",
     "Observer",
     "RandomStimulus",
     "ReplayStimulus",
+    "SIM_ENGINES",
     "SimulationError",
     "Simulator",
+    "SimulatorBase",
     "Stimulus",
     "Trace",
     "concatenate",
+    "create_simulator",
+    "pack_lanes",
+    "random_batch_traces",
+    "unpack_lanes",
 ]

@@ -1,0 +1,112 @@
+"""Common interface shared by the simulation engines.
+
+Two engines implement it:
+
+* :class:`repro.sim.simulator.Simulator` — the scalar two-phase
+  interpreter.  It walks statements one at a time, which is what the
+  coverage observers need, and simulates one trial at a time.
+* :class:`repro.sim.batched.BatchedSimulator` — the bit-parallel batched
+  engine.  It evaluates the synthesized next-state/output functions once
+  per cycle for ``W`` independent trials packed into Python big-int lanes.
+
+Code that only needs ``reset``/``step``/``peek`` can hold either engine
+through :class:`SimulatorBase`; :func:`create_simulator` selects one by
+name (the same names :class:`repro.core.config.GoldMineConfig` uses).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.hdl.module import Module
+
+#: Engine names accepted by :func:`create_simulator` and by the config.
+SIM_ENGINES = ("scalar", "batched")
+
+
+class SimulatorBase:
+    """Shared surface of the scalar and batched simulation engines.
+
+    ``peek``/``snapshot`` return plain ints on the scalar engine and
+    per-lane lists on the batched engine; everything else (reset
+    semantics, cycle accounting, trace-column layout) is identical.
+    """
+
+    def __init__(self, module: Module, trace_columns=None):
+        module.validate()
+        self.module = module
+        self.cycle_count = 0
+        if trace_columns is None:
+            trace_columns = self.default_trace_columns()
+        self.trace_columns = tuple(trace_columns)
+
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        """Number of independent trials simulated per :meth:`step`."""
+        return 1
+
+    def width_of(self, name: str) -> int:
+        return self.module.width_of(name)
+
+    def default_trace_columns(self) -> list[str]:
+        """Inputs (excluding clock), registers, then remaining signals."""
+        skip = {self.module.clock}
+        columns = [name for name in self.module.input_names if name not in skip]
+        for name in self.module.state_names:
+            if name not in columns:
+                columns.append(name)
+        for name in self.module.signals:
+            if name not in columns and name not in skip:
+                columns.append(name)
+        return columns
+
+    # ------------------------------------------------------------------
+    # engine API
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Put the design (every lane) into its reset state."""
+        raise NotImplementedError
+
+    def step(self, inputs: Mapping[str, object] | None = None):
+        """Simulate one clock cycle; return the sampled (pre-edge) values."""
+        raise NotImplementedError
+
+    def peek(self, name: str):
+        raise NotImplementedError
+
+    def poke(self, name: str, value) -> None:
+        raise NotImplementedError
+
+    def snapshot(self):
+        raise NotImplementedError
+
+
+def create_simulator(module: Module, engine: str = "scalar", *,
+                     observers=(), trace_columns=None, lanes: int = 64,
+                     synth=None) -> SimulatorBase:
+    """Build a simulation engine by name.
+
+    ``engine`` is ``"scalar"`` (the interpreting :class:`Simulator`) or
+    ``"batched"`` (the bit-parallel :class:`BatchedSimulator`); ``lanes``
+    and ``synth`` only apply to the batched engine, ``observers`` only to
+    the scalar one (the batched engine has no statement-level hooks — use
+    the batched coverage runner for lane-parallel coverage).
+    """
+    if engine == "scalar":
+        from repro.sim.simulator import Simulator
+
+        return Simulator(module, observers=observers, trace_columns=trace_columns)
+    if engine == "batched":
+        from repro.sim.batched import BatchedSimulator
+
+        if observers:
+            raise ValueError(
+                "the batched engine does not support observers; use the scalar "
+                "engine or repro.coverage's batched runner"
+            )
+        return BatchedSimulator(module, lanes=lanes, trace_columns=trace_columns,
+                                synth=synth)
+    raise ValueError(
+        f"unknown simulation engine '{engine}' (expected one of {SIM_ENGINES})"
+    )

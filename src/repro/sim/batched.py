@@ -1,0 +1,515 @@
+"""Bit-parallel batched simulation of the Verilog subset.
+
+The scalar :class:`~repro.sim.simulator.Simulator` interprets statements
+one trial at a time.  This engine instead packs ``W`` independent trials
+into Python big-int *lanes*: every bit of every signal is stored as one
+integer whose bit ``l`` is that signal bit's value in lane ``l``.  The
+synthesized next-state and output functions (:func:`repro.hdl.synth
+.synthesize`) are bit-blasted once per design (reusing the formal
+engines' :class:`~repro.boolean.bitblast.BitBlaster`) and compiled into
+straight-line Python code over lane words, so one pass of ``&``/``|``/
+``^`` big-int operations advances all ``W`` trials by a clock cycle.
+
+``W`` may be 64 (one machine word per gate on CPython) or arbitrary —
+big-int lanes make 256- or 1024-wide batches a constant-factor cost.
+
+Cycle semantics match the scalar engine exactly (the differential suite
+in ``tests/sim/test_batched_differential.py`` asserts lane-exact
+agreement on every bundled design): reset loads declared reset values,
+``step`` applies inputs, settles the combinational network, samples,
+then commits non-blocking register updates and re-settles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.boolean.bitblast import BitBlaster, default_bit_name
+from repro.boolean.expr import (
+    BAnd,
+    BConst,
+    BIte,
+    BNot,
+    BOr,
+    BoolExpr,
+    BVar,
+    BXor,
+)
+from repro.hdl.module import Module
+from repro.hdl.synth import SynthesizedModule, synthesize
+from repro.sim.base import SimulatorBase
+from repro.sim.simulator import SimulationError
+from repro.sim.trace import Trace
+
+
+# ----------------------------------------------------------------------
+# lane packing helpers
+# ----------------------------------------------------------------------
+def pack_lanes(values: Sequence[int], width: int) -> list[int]:
+    """Pack per-lane integers into ``width`` lane words (LSB first)."""
+    words = [0] * width
+    limit = (1 << width) - 1
+    for lane, value in enumerate(values):
+        value = int(value) & limit
+        bit = 0
+        while value:
+            if value & 1:
+                words[bit] |= 1 << lane
+            value >>= 1
+            bit += 1
+    return words
+
+
+def unpack_lanes(words: Sequence[int], lanes: int) -> list[int]:
+    """Unpack lane words back into one integer per lane."""
+    values = [0] * lanes
+    for bit, word in enumerate(words):
+        if not word:
+            continue
+        weight = 1 << bit
+        for lane in range(lanes):
+            if (word >> lane) & 1:
+                values[lane] += weight
+    return values
+
+
+# ----------------------------------------------------------------------
+# Boolean-DAG → straight-line lane code
+# ----------------------------------------------------------------------
+class _Emitter:
+    """Emit three-address lane code for Boolean-expression DAGs.
+
+    Shared sub-DAGs (BoolExpr nodes compare structurally) are emitted
+    once, giving common-subexpression elimination across all outputs of
+    one compiled function.  All stored lane words are kept masked to the
+    lane count, so negation is ``x ^ M`` and no value ever goes negative.
+    """
+
+    def __init__(self, var_slot: Mapping[str, int]):
+        self._var_slot = var_slot
+        self.lines: list[str] = []
+        self._cache: dict[BoolExpr, str] = {}
+
+    def _temp(self, expression: str) -> str:
+        name = f"t{len(self.lines)}"
+        self.lines.append(f"    {name} = {expression}")
+        return name
+
+    def emit(self, node: BoolExpr) -> str:
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, BConst):
+            result = "M" if node.value else "0"
+        elif isinstance(node, BVar):
+            result = f"b[{self._var_slot[node.name]}]"
+        elif isinstance(node, BNot):
+            result = self._temp(f"{self.emit(node.operand)} ^ M")
+        elif isinstance(node, BAnd):
+            result = self._temp(" & ".join(self.emit(op) for op in node.operands))
+        elif isinstance(node, BOr):
+            result = self._temp(" | ".join(self.emit(op) for op in node.operands))
+        elif isinstance(node, BXor):
+            result = self._temp(f"{self.emit(node.left)} ^ {self.emit(node.right)}")
+        elif isinstance(node, BIte):
+            cond = self.emit(node.cond)
+            then = self.emit(node.then)
+            other = self.emit(node.other)
+            result = self._temp(f"({cond} & {then}) | (({cond} ^ M) & {other})")
+        else:  # pragma: no cover - the blaster only produces the above
+            raise TypeError(f"cannot compile Boolean node {type(node).__name__}")
+        self._cache[node] = result
+        return result
+
+    def emit_stable(self, node: BoolExpr) -> str:
+        """Like :meth:`emit`, but never returns a raw ``b[...]`` read.
+
+        Used for clock-edge commits, where every next-state value must be
+        materialised before any register slot is overwritten.
+        """
+        result = self.emit(node)
+        if result.startswith("b["):
+            result = self._temp(result)
+            self._cache[node] = result
+        return result
+
+    def flush_temps(self) -> None:
+        """Drop cached temps (keep slot reads and constants).
+
+        Called after slot writes: a temp holds the value its inputs had
+        when it was computed, so it may no longer equal a recomputation.
+        """
+        self._cache = {node: value for node, value in self._cache.items()
+                       if not value.startswith("t")}
+
+
+def _compile_lines(fn_name: str, lines: Sequence[str]) -> Callable:
+    body = list(lines) or ["    pass"]
+    source = f"def {fn_name}(b, M):\n" + "\n".join(body)
+    namespace: dict = {}
+    exec(compile(source, f"<lane:{fn_name}>", "exec"), namespace)
+    return namespace[fn_name]
+
+
+class CompiledNetlist:
+    """Lane-parallel compiled form of a synthesized module.
+
+    Allocates one slot per signal bit, compiles a ``settle`` function
+    (combinational targets in dependency order) and an ``edge`` function
+    (all next-state values computed, then committed), and offers
+    :meth:`compile_flags` so the batched coverage engine can evaluate
+    arbitrary Boolean cover conditions against the same slots.
+
+    The netlist is immutable and lane-count agnostic (the lane mask is an
+    argument), so one instance can back any number of simulators.
+    """
+
+    def __init__(self, module: Module, synth: SynthesizedModule | None = None):
+        module.validate()
+        self.module = module
+        self.synth = synth if synth is not None else synthesize(module)
+        self.slots: dict[str, list[int]] = {}
+        self._var_slot: dict[str, int] = {}
+        index = 0
+        for name, signal in module.signals.items():
+            lane_slots = list(range(index, index + signal.width))
+            self.slots[name] = lane_slots
+            for bit, slot in enumerate(lane_slots):
+                self._var_slot[default_bit_name(name, bit)] = slot
+            index += signal.width
+        self.size = index
+        self._blaster = BitBlaster(module.width_of)
+        self.settle = self._compile_settle()
+        self.edge = self._compile_edge()
+
+    # ------------------------------------------------------------------
+    def blast_condition(self, expr) -> BoolExpr:
+        """Bit-blast a word-level expression to its truth value."""
+        return self._blaster.blast_bool(expr)
+
+    def compile_flags(self, conditions: Sequence[BoolExpr]) -> Callable:
+        """Compile Boolean conditions into ``fn(bits, mask) -> tuple`` of
+        lane words (nonzero word = condition holds in some lane)."""
+        emitter = _Emitter(self._var_slot)
+        results = [emitter.emit(condition) for condition in conditions]
+        emitter.lines.append("    return (" + ", ".join(results) + ("," if results else "") + ")")
+        return _compile_lines("_flags", emitter.lines)
+
+    # ------------------------------------------------------------------
+    def _compile_settle(self) -> Callable:
+        emitter = _Emitter(self._var_slot)
+        for name in self.synth.comb_order:
+            width = self.module.width_of(name)
+            bits = self._blaster.blast(self.synth.comb[name], width)
+            # Emit every bit of this target before writing any of its slots
+            # (a latched target may read its own previous value), then flush
+            # derived temps: a temp computed from the old slot contents must
+            # not satisfy a cache hit after the slot has been overwritten.
+            values = [emitter.emit(bit_expr) for bit_expr in bits]
+            for slot, value in zip(self.slots[name], values):
+                emitter.lines.append(f"    b[{slot}] = {value}")
+            emitter.flush_temps()
+        return _compile_lines("_settle", emitter.lines)
+
+    def _compile_edge(self) -> Callable:
+        emitter = _Emitter(self._var_slot)
+        commits: list[tuple[int, str]] = []
+        for name in self.synth.registers:
+            width = self.module.width_of(name)
+            bits = self._blaster.blast(self.synth.next_state[name], width)
+            for slot, bit_expr in zip(self.slots[name], bits):
+                commits.append((slot, emitter.emit_stable(bit_expr)))
+        for slot, value in commits:
+            emitter.lines.append(f"    b[{slot}] = {value}")
+        return _compile_lines("_edge", emitter.lines)
+
+
+# ----------------------------------------------------------------------
+# sampled values
+# ----------------------------------------------------------------------
+class BatchSample:
+    """Immutable view of one sampled batch cycle.
+
+    Values are unpacked lazily: coverage and benchmarks work on the raw
+    lane words, while trace building extracts per-lane integers only for
+    the columns it records.
+    """
+
+    __slots__ = ("_slots", "_words", "lanes")
+
+    def __init__(self, slots: Mapping[str, list[int]], words: Sequence[int], lanes: int):
+        self._slots = slots
+        self._words = words
+        self.lanes = lanes
+
+    def word(self, name: str, bit: int = 0) -> int:
+        """Lane word of one signal bit."""
+        return self._words[self._slots[name][bit]]
+
+    def words(self, name: str) -> list[int]:
+        return [self._words[slot] for slot in self._slots[name]]
+
+    def value(self, name: str, lane: int) -> int:
+        value = 0
+        for bit, slot in enumerate(self._slots[name]):
+            value |= ((self._words[slot] >> lane) & 1) << bit
+        return value
+
+    def values(self, name: str) -> list[int]:
+        return unpack_lanes(self.words(name), self.lanes)
+
+    def lane(self, lane: int, columns: Iterable[str] | None = None) -> dict[str, int]:
+        names = columns if columns is not None else self._slots.keys()
+        return {name: self.value(name, lane) for name in names}
+
+    @property
+    def raw_words(self) -> Sequence[int]:
+        """The underlying slot words (one lane word per signal bit)."""
+        return self._words
+
+
+def _lane_traces(netlist: "CompiledNetlist", columns: Sequence[str],
+                 cycle_words: Sequence[Sequence[int]], lanes: int,
+                 lengths: Sequence[int] | None = None) -> list[Trace]:
+    """Unpack per-cycle slot words into one :class:`Trace` per lane.
+
+    Bit extraction is vectorised with numpy (cycles × lanes at once per
+    signal bit), which keeps trace materialisation from dominating the
+    bit-parallel simulation it records.
+    """
+    import numpy as np
+
+    cycles = len(cycle_words)
+    if cycles == 0:
+        count = lanes if lengths is None else len(lengths)
+        return [Trace(tuple(columns)) for _ in range(count)]
+    if any(len(netlist.slots[name]) >= 63 for name in columns):
+        # int64 accumulation would overflow into the sign bit; fall back
+        # to exact big-int unpacking for very wide signals.
+        traces = []
+        lane_count = lanes if lengths is None else len(lengths)
+        for lane in range(lane_count):
+            length = cycles if lengths is None else min(lengths[lane], cycles)
+            trace = Trace(tuple(columns))
+            for words in cycle_words[:length]:
+                trace.rows.append(tuple(
+                    sum(((words[slot] >> lane) & 1) << bit
+                        for bit, slot in enumerate(netlist.slots[name]))
+                    for name in columns
+                ))
+            traces.append(trace)
+        return traces
+    nbytes = (lanes + 7) // 8
+    cube = np.empty((lanes, cycles, len(columns)), dtype=np.int64)
+    for index, name in enumerate(columns):
+        accumulated = np.zeros((cycles, lanes), dtype=np.int64)
+        for bit, slot in enumerate(netlist.slots[name]):
+            raw = b"".join(words[slot].to_bytes(nbytes, "little") for words in cycle_words)
+            bits = np.unpackbits(
+                np.frombuffer(raw, dtype=np.uint8).reshape(cycles, nbytes),
+                axis=1, bitorder="little",
+            )[:, :lanes].astype(np.int64)
+            accumulated |= bits << bit
+        cube[:, :, index] = accumulated.T
+    nested = cube.tolist()  # one C-level conversion for every lane at once
+    traces: list[Trace] = []
+    lane_count = lanes if lengths is None else len(lengths)
+    for lane in range(lane_count):
+        length = cycles if lengths is None else min(lengths[lane], cycles)
+        trace = Trace(tuple(columns))
+        trace.rows = [tuple(row) for row in nested[lane][:length]]
+        traces.append(trace)
+    return traces
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class BatchedSimulator(SimulatorBase):
+    """Simulates ``lanes`` independent trials per step, bit-parallel.
+
+    ``peek``/``poke``/``snapshot`` accept and return per-lane lists where
+    the scalar engine uses single integers; a plain int broadcast-pokes
+    every lane.  Statement-level observers are not supported (there are
+    no statements at runtime — the design has been compiled to a
+    netlist); use the scalar engine or the batched coverage runner.
+    """
+
+    def __init__(self, module: Module, lanes: int = 64,
+                 trace_columns: Sequence[str] | None = None,
+                 synth: SynthesizedModule | None = None,
+                 netlist: CompiledNetlist | None = None):
+        if lanes < 1:
+            raise ValueError("lane count must be positive")
+        if netlist is not None and netlist.module is not module:
+            raise ValueError("netlist was compiled for a different module")
+        self.netlist = netlist if netlist is not None else CompiledNetlist(module, synth)
+        super().__init__(module, trace_columns)
+        self._lanes = lanes
+        self._mask = (1 << lanes) - 1
+        self._bits: list[int] = [0] * self.netlist.size
+        self.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        return self._lanes
+
+    @property
+    def lane_mask(self) -> int:
+        return self._mask
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Put every lane into the design's reset state."""
+        bits = [0] * self.netlist.size
+        for name in self.module.state_names:
+            value = self.module.signal(name).reset_value
+            for bit, slot in enumerate(self.netlist.slots[name]):
+                if (value >> bit) & 1:
+                    bits[slot] = self._mask
+        self._bits = bits
+        self.netlist.settle(bits, self._mask)
+        self.cycle_count = 0
+
+    def poke(self, name: str, value) -> None:
+        """Set a signal: an int broadcasts, a sequence sets per-lane values."""
+        try:
+            slots = self.netlist.slots[name]
+        except KeyError:
+            raise SimulationError(f"unknown signal '{name}'") from None
+        bits = self._bits
+        if isinstance(value, int):
+            for bit, slot in enumerate(slots):
+                bits[slot] = self._mask if (value >> bit) & 1 else 0
+        else:
+            # Values beyond the lane count are ignored; missing lanes are 0.
+            for slot, word in zip(slots, pack_lanes(list(value), len(slots))):
+                bits[slot] = word & self._mask
+
+    def poke_words(self, name: str, words: Sequence[int]) -> None:
+        """Set a signal's lane words directly (LSB first, already packed)."""
+        for slot, word in zip(self.netlist.slots[name], words):
+            self._bits[slot] = word & self._mask
+
+    def peek(self, name: str) -> list[int]:
+        """Per-lane values of ``name`` (index ``l`` is lane ``l``)."""
+        return unpack_lanes([self._bits[s] for s in self.netlist.slots[name]], self._lanes)
+
+    def peek_lane(self, name: str, lane: int) -> int:
+        value = 0
+        for bit, slot in enumerate(self.netlist.slots[name]):
+            value |= ((self._bits[slot] >> lane) & 1) << bit
+        return value
+
+    def snapshot(self) -> dict[str, list[int]]:
+        return {name: self.peek(name) for name in self.module.signals}
+
+    def load_state(self, registers: Mapping[str, object]) -> None:
+        """Set register values (broadcast int or per-lane sequence) and settle."""
+        for name, value in registers.items():
+            self.poke(name, value)
+        self.netlist.settle(self._bits, self._mask)
+
+    def sample(self) -> BatchSample:
+        """Sample the current (settled) state of every lane."""
+        return BatchSample(self.netlist.slots, tuple(self._bits), self._lanes)
+
+    def step(self, inputs: Mapping[str, object] | None = None) -> BatchSample:
+        """Advance all lanes one cycle; return the pre-edge sample.
+
+        ``inputs`` maps input names to a broadcast int or a per-lane
+        sequence; unspecified inputs keep their previous lane values,
+        exactly like the scalar engine.
+        """
+        if inputs:
+            for name, value in inputs.items():
+                if name not in self.module.signals:
+                    raise SimulationError(f"unknown input '{name}'")
+                self.poke(name, value)
+        bits, mask = self._bits, self._mask
+        self.netlist.settle(bits, mask)
+        sampled = BatchSample(self.netlist.slots, tuple(bits), self._lanes)
+        self.netlist.edge(bits, mask)
+        self.netlist.settle(bits, mask)
+        self.cycle_count += 1
+        return sampled
+
+    # ------------------------------------------------------------------
+    # batch drivers
+    # ------------------------------------------------------------------
+    def run_batch(self, vector_lists: Sequence[Sequence[Mapping[str, int]]],
+                  reset: bool = True) -> list[Trace]:
+        """Run one per-lane list of input vectors; return one trace per lane.
+
+        Lists may have different lengths: finished lanes hold their last
+        inputs and their traces stop at their own length.  At most
+        :attr:`lanes` lists can be driven at once.
+        """
+        if len(vector_lists) > self._lanes:
+            raise SimulationError(
+                f"{len(vector_lists)} sequences exceed the {self._lanes}-lane batch"
+            )
+        if reset:
+            self.reset()
+        depth = max((len(vectors) for vectors in vector_lists), default=0)
+        cycle_words: list[Sequence[int]] = []
+        for t in range(depth):
+            stacked: dict[str, list[int]] = {}
+            for lane, vectors in enumerate(vector_lists):
+                if t < len(vectors):
+                    for name, value in vectors[t].items():
+                        if name not in stacked:
+                            if name not in self.module.signals:
+                                raise SimulationError(f"unknown input '{name}'")
+                            stacked[name] = self.peek(name)
+                        stacked[name][lane] = int(value)
+            cycle_words.append(self.step(stacked).raw_words)
+        return _lane_traces(self.netlist, self.trace_columns, cycle_words,
+                            self._lanes, [len(vectors) for vectors in vector_lists])
+
+    def run_random(self, cycles: int, seed: int = 0,
+                   bias: Mapping[str, float] | None = None,
+                   collect_traces: bool = True) -> list[Trace]:
+        """Drive every lane with an independent uniform random stream.
+
+        Random lane words are generated bit-parallel (one ``getrandbits``
+        per input bit per cycle), so stimulus generation scales with the
+        design's input width, not with the lane count.  ``bias`` gives a
+        per-signal probability of driving 1 on single-bit inputs, like
+        :class:`~repro.sim.stimulus.RandomStimulus`.
+        """
+        rng = random.Random(seed)
+        bias = bias or {}
+        inputs = [(name, self.netlist.slots[name]) for name in self.module.data_input_names]
+        self.reset()
+        cycle_words: list[Sequence[int]] = []
+        bits, lanes = self._bits, self._lanes
+        for _ in range(cycles):
+            for name, slots in inputs:
+                probability = bias.get(name)
+                if probability is not None and len(slots) == 1:
+                    word = 0
+                    for lane in range(lanes):
+                        if rng.random() < probability:
+                            word |= 1 << lane
+                    bits[slots[0]] = word
+                else:
+                    for slot in slots:
+                        bits[slot] = rng.getrandbits(lanes)
+            sampled = self.step()
+            if collect_traces:
+                cycle_words.append(sampled.raw_words)
+        if not collect_traces:
+            return []
+        return _lane_traces(self.netlist, self.trace_columns, cycle_words, lanes)
+
+
+def random_batch_traces(module: Module, cycles: int, lanes: int = 64, seed: int = 0,
+                        bias: Mapping[str, float] | None = None,
+                        trace_columns: Sequence[str] | None = None) -> list[Trace]:
+    """Convenience wrapper: ``lanes`` independent random runs of ``cycles``
+    cycles each, simulated bit-parallel; returns one trace per lane."""
+    simulator = BatchedSimulator(module, lanes=lanes, trace_columns=trace_columns)
+    return simulator.run_random(cycles, seed=seed, bias=bias)

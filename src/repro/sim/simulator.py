@@ -35,6 +35,7 @@ from repro.hdl.module import (
     ProcessKind,
 )
 from repro.hdl.stmt import Assign, Block, Case, If, Statement
+from repro.sim.base import SimulatorBase
 from repro.sim.observer import Observer
 from repro.sim.stimulus import Stimulus
 from repro.sim.trace import Trace
@@ -47,22 +48,18 @@ class SimulationError(HdlError):
     """Raised when simulation cannot make progress (e.g. oscillating logic)."""
 
 
-class Simulator:
+class Simulator(SimulatorBase):
     """Interprets a :class:`~repro.hdl.module.Module` cycle by cycle."""
 
     def __init__(self, module: Module, observers: Iterable[Observer] = (),
                  trace_columns: Sequence[str] | None = None):
-        module.validate()
-        self.module = module
         self.observers: list[Observer] = list(observers)
         self._values: dict[str, int] = {name: 0 for name in module.signals}
+        self.module = module
         self._comb_constructs = self._ordered_comb_constructs()
         self._sequential = [p for p in module.processes if p.kind is ProcessKind.SEQUENTIAL]
         self._register_names = module.state_names
-        self.cycle_count = 0
-        if trace_columns is None:
-            trace_columns = self.default_trace_columns()
-        self.trace_columns = tuple(trace_columns)
+        super().__init__(module, trace_columns)
 
     # ------------------------------------------------------------------
     # EvalContext protocol
@@ -70,26 +67,11 @@ class Simulator:
     def read(self, name: str) -> int:
         return self._values[name]
 
-    def width_of(self, name: str) -> int:
-        return self.module.width_of(name)
-
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def add_observer(self, observer: Observer) -> None:
         self.observers.append(observer)
-
-    def default_trace_columns(self) -> list[str]:
-        """Inputs (excluding clock), registers, then remaining signals."""
-        skip = {self.module.clock}
-        columns = [name for name in self.module.input_names if name not in skip]
-        for name in self._register_names:
-            if name not in columns:
-                columns.append(name)
-        for name in self.module.signals:
-            if name not in columns and name not in skip:
-                columns.append(name)
-        return columns
 
     def reset(self) -> None:
         """Put the design into its reset state."""

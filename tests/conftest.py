@@ -1,6 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and per-test timeout enforcement for the test suite.
+
+A hanging test must fail fast instead of freezing the whole tier-1 run
+(a lexer infinite loop once did exactly that).  When the ``pytest-timeout``
+plugin is installed (CI installs it), it is given a default of
+``DEFAULT_TEST_TIMEOUT_SECONDS``; otherwise a SIGALRM-based fallback below
+enforces the same budget, so the suite is hang-proof even in bare
+environments.  Individual tests can override the budget with
+``@pytest.mark.timeout(seconds)`` under either mechanism.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
@@ -15,6 +27,64 @@ from repro.designs import (
     handshake_block,
     wb_stage,
 )
+
+#: Per-test wall-clock budget; generous — the whole suite runs in seconds.
+DEFAULT_TEST_TIMEOUT_SECONDS = 30.0
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_CAN_USE_SIGALRM = hasattr(signal, "SIGALRM")
+
+
+def pytest_configure(config):
+    if _HAVE_PYTEST_TIMEOUT:
+        # Wire the default into pytest-timeout unless the user passed one
+        # (--timeout=0 is the documented way to disable it — respect it).
+        if getattr(config.option, "timeout", None) is None:
+            config.option.timeout = DEFAULT_TEST_TIMEOUT_SECONDS
+    else:
+        # The marker is normally registered by the plugin; keep it valid
+        # (and honoured, see the hook below) without it.
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer than the "
+            "given number of seconds (SIGALRM fallback when pytest-timeout "
+            "is not installed)",
+        )
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    return DEFAULT_TEST_TIMEOUT_SECONDS
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    if (_HAVE_PYTEST_TIMEOUT or not _CAN_USE_SIGALRM
+            or threading.current_thread() is not threading.main_thread()):
+        return (yield)
+    seconds = _timeout_for(item)
+    if seconds <= 0:
+        return (yield)
+
+    def _on_alarm(signum, frame):
+        pytest.fail(f"test exceeded the {seconds:g}s timeout", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
 
 #: Inline Verilog used across parser/simulator tests (the paper's arbiter).
 ARBITER2_SOURCE = """

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import string
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.hdl.errors import ParseError
 from repro.hdl.lexer import tokenize
@@ -90,6 +93,75 @@ class TestNumbers:
     def test_missing_digits_raises(self):
         with pytest.raises(ParseError):
             tokenize("4'b;")
+
+
+class TestTermination:
+    """The lexer must terminate on *any* input.
+
+    Regression context: a sized literal at end-of-input used to hang the
+    digit loop forever, because the EOF sentinel is the empty string and
+    ``"" in "_xzXZ?"`` is true — which froze the whole tier-1 suite.
+    """
+
+    #: Every base marker, with underscores and x/z/? digits, deliberately
+    #: placed at the very end of the source (no trailing newline).
+    SIZED_LITERALS_AT_EOF = [
+        "4'b1010",
+        "4'b1_0x0",
+        "4'bzz?1",
+        "6'o17",
+        "6'o1_7",
+        "3'd5",
+        "8'd2_55",
+        "8'hFF",
+        "8'hF_f",
+        "8'hxZ",
+        "'b101",
+        "'o7",
+        "'d9",
+        "'hA",
+    ]
+
+    @pytest.mark.parametrize("source", SIZED_LITERALS_AT_EOF)
+    def test_sized_literal_at_end_of_input_terminates(self, source):
+        tokens = tokenize(source)
+        assert tokens[0].kind == "NUMBER"
+        assert tokens[-1].kind == "EOF"
+
+    @pytest.mark.parametrize("source", [s + "\n" for s in SIZED_LITERALS_AT_EOF])
+    def test_sized_literal_before_newline_terminates(self, source):
+        tokens = tokenize(source)
+        assert tokens[0].kind == "NUMBER"
+
+    def test_size_prefix_at_end_of_input_terminates(self):
+        for source in ("4", "4_2", "12_"):
+            token = tokenize(source)[0]
+            assert token.kind == "NUMBER"
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.text(alphabet=string.printable, max_size=40))
+    def test_tokenize_terminates_on_arbitrary_printable_input(self, source):
+        """tokenize() either yields a token list ending in EOF or raises
+        a ParseError — it never hangs and never raises anything else."""
+        try:
+            tokens = tokenize(source)
+        except ParseError:
+            return
+        assert tokens[-1].kind == "EOF"
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        size=st.integers(0, 64),
+        base=st.sampled_from("bodhBODH"),
+        digits=st.text(alphabet="0123456789abcdefxzXZ?_", max_size=12),
+    )
+    def test_sized_literal_shapes_terminate(self, size, base, digits):
+        source = f"{size or ''}'{base}{digits}"
+        try:
+            tokens = tokenize(source)
+        except ParseError:
+            return
+        assert tokens[-1].kind == "EOF"
 
 
 class TestOperators:
