@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Towards Coverage Closure: Using GoldMine Assertions "
         "for Generating Design Validation Stimulus' (Liu et al., DATE 2011)"
@@ -13,4 +13,7 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy", "networkx"],
+    entry_points={
+        "console_scripts": ["repro=repro.runner.cli:main"],
+    },
 )

@@ -18,14 +18,23 @@ True
 The main entry points are:
 
 * :func:`repro.hdl.parse_module` — parse a Verilog-subset design.
-* :class:`repro.sim.Simulator` — cycle-accurate simulation.
+* :func:`repro.sim.create_simulator` — cycle-accurate simulation:
+  the scalar interpreter (``engine="scalar"``) or the bit-parallel
+  batched engine (``engine="batched"``), both behind
+  :class:`repro.sim.SimulatorBase`.
 * :class:`repro.core.GoldMine` — a single assertion-mining pass.
 * :class:`repro.core.CoverageClosure` — the paper's counterexample-guided
-  refinement loop producing assertions + validation stimulus.
-* :mod:`repro.coverage` — statement/branch/condition/expression/toggle/FSM
+  refinement loop producing assertions + validation stimulus
+  (serializable via :meth:`repro.core.ClosureResult.to_json`).
+* :class:`repro.coverage.CoverageRunner` / :func:`repro.coverage
+  .measure_coverage` — statement/branch/condition/expression/toggle/FSM
   and output-centric input-space coverage.
 * :mod:`repro.faults` — stuck-at mutation and assertion regression.
 * :mod:`repro.designs` — the bundled benchmark designs.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.runner` — parallel experiment orchestration (job specs,
+  worker pool, checkpoint/resume), exposed on the command line as
+  ``python -m repro`` — see ``docs/EXPERIMENTS.md``.
 """
 
 from repro.assertions import Assertion, Literal, Verdict
@@ -36,22 +45,30 @@ from repro.core import (
     GoldMineConfig,
     IterationRecord,
 )
+from repro.coverage import CoverageReport, CoverageRunner, measure_coverage
 from repro.formal import FormalVerifier
 from repro.hdl import Module, parse_module, parse_modules
 from repro.sim import (
+    SIM_ENGINES,
+    BatchedSimulator,
     DirectedStimulus,
     RandomStimulus,
     ReplayStimulus,
     Simulator,
+    SimulatorBase,
     Trace,
+    create_simulator,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Assertion",
+    "BatchedSimulator",
     "ClosureResult",
     "CoverageClosure",
+    "CoverageReport",
+    "CoverageRunner",
     "DirectedStimulus",
     "FormalVerifier",
     "GoldMine",
@@ -61,10 +78,14 @@ __all__ = [
     "Module",
     "RandomStimulus",
     "ReplayStimulus",
+    "SIM_ENGINES",
     "Simulator",
+    "SimulatorBase",
     "Trace",
     "Verdict",
     "__version__",
+    "create_simulator",
+    "measure_coverage",
     "parse_module",
     "parse_modules",
 ]

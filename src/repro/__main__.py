@@ -1,0 +1,8 @@
+"""``python -m repro`` dispatches to the orchestration CLI."""
+
+import sys
+
+from repro.runner.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

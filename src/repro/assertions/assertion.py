@@ -63,6 +63,19 @@ class Literal:
             raise ValueError("can only negate 0/1 literals")
         return Literal(self.signal, 1 - self.value, self.cycle, self.bit)
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form for artifact files (see :mod:`repro.runner`)."""
+        data: dict = {"signal": self.signal, "value": self.value, "cycle": self.cycle}
+        if self.bit is not None:
+            data["bit"] = self.bit
+        return data
+
+    @staticmethod
+    def from_json(data: Mapping) -> "Literal":
+        return Literal(data["signal"], data["value"], data.get("cycle", 0),
+                       data.get("bit"))
+
     def describe(self) -> str:
         name = self.signal if self.bit is None else f"{self.signal}[{self.bit}]"
         return f"{name}@{self.cycle}={self.value}"
@@ -139,6 +152,30 @@ class Assertion:
     def with_name(self, name: str) -> "Assertion":
         return Assertion(self.antecedent, self.consequent, self.window, name,
                          self.confidence, self.support)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form for artifact files; ``ltl`` is informational only."""
+        return {
+            "name": self.name,
+            "antecedent": [literal.to_json() for literal in self.antecedent],
+            "consequent": self.consequent.to_json(),
+            "window": self.window,
+            "confidence": self.confidence,
+            "support": self.support,
+            "ltl": self.describe(),
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "Assertion":
+        return Assertion(
+            tuple(Literal.from_json(item) for item in data["antecedent"]),
+            Literal.from_json(data["consequent"]),
+            data.get("window", 1),
+            data.get("name", ""),
+            data.get("confidence", 1.0),
+            data.get("support", 0),
+        )
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

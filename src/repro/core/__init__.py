@@ -7,7 +7,24 @@
 * :mod:`repro.core.refinement` — this paper's counterexample-guided
   iterative refinement producing validation stimulus and a final decision
   tree per output (coverage closure).
-* :mod:`repro.core.results` — per-iteration records and run summaries.
+* :mod:`repro.core.results` — per-iteration records and run summaries,
+  JSON-serializable (``to_json``/``from_json``) so closure runs can be
+  checkpointed, aggregated and replayed by :mod:`repro.runner`.
+
+Typical use::
+
+    from repro.core import CoverageClosure, GoldMineConfig
+
+    config = GoldMineConfig(window=2, sim_engine="batched", sim_lanes=64)
+    closure = CoverageClosure(module, outputs=["gnt0"], config=config)
+    result = closure.run(seed_vectors)      # Stimulus, vector list, or None
+    result.converged                        # every leaf assertion proven?
+    result.all_true_assertions              # the mined invariants
+    result.test_suite                       # seed + every counterexample
+
+``sim_engine`` selects the simulation back end for data generation and
+counterexample replay (``"scalar"`` or ``"batched"``); results are
+engine-independent, throughput is not.
 """
 
 from repro.core.config import GoldMineConfig

@@ -63,3 +63,21 @@ class GoldMineConfig:
             )
         if self.sim_lanes < 1:
             raise ValueError("sim_lanes must be at least 1")
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form recorded in run manifests (see :mod:`repro.runner`)."""
+        from dataclasses import asdict
+
+        data = asdict(self)
+        data["input_bias"] = dict(self.input_bias)
+        return data
+
+    @staticmethod
+    def from_json(data: Mapping) -> "GoldMineConfig":
+        """Rebuild a config from :meth:`to_json` output (unknown keys ignored,
+        so manifests written by newer versions still load)."""
+        from dataclasses import fields
+
+        known = {f.name for f in fields(GoldMineConfig)}
+        return GoldMineConfig(**{k: v for k, v in dict(data).items() if k in known})

@@ -62,7 +62,17 @@ class OutputContext:
 
 
 class CoverageClosure:
-    """The counterexample-guided refinement loop."""
+    """The counterexample-guided refinement loop.
+
+    ``config.sim_engine`` selects how counterexample/seed sequences are
+    replayed into the mining datasets: ``"scalar"`` simulates them one at a
+    time on the interpreting :class:`~repro.sim.simulator.Simulator`, while
+    ``"batched"`` packs up to ``config.sim_lanes`` sequences per pass into
+    the bit-parallel :class:`~repro.sim.batched.BatchedSimulator` (sharing
+    the GoldMine engine's synthesis).  Both engines produce lane-exact
+    identical traces, so the mined assertions and the refined test suite do
+    not depend on the engine choice — only the replay throughput does.
+    """
 
     def __init__(self, module: Module, outputs: Sequence[str] | None = None,
                  config: GoldMineConfig | None = None,
@@ -85,6 +95,14 @@ class CoverageClosure:
                 OutputContext(output, bit, self.engine.target_label(output, bit), tree)
             )
         self._simulator = Simulator(module)
+        self._batched_simulator = None
+        if self.config.sim_engine == "batched":
+            from repro.sim.batched import BatchedSimulator
+
+            self._batched_simulator = BatchedSimulator(
+                module, lanes=self.config.sim_lanes, synth=self.engine.synth,
+                trace_columns=self._simulator.trace_columns,
+            )
 
     # ------------------------------------------------------------------
     # seed handling
@@ -93,7 +111,25 @@ class CoverageClosure:
         return [dict(vector) for vector in stimulus.cycles(self.module)]
 
     def _simulate_sequence(self, vectors: Sequence[Mapping[str, int]]) -> Trace:
-        return self._simulator.run_vectors(list(vectors))
+        return self._simulate_suite([vectors])[0]
+
+    def _simulate_suite(self,
+                        sequences: Sequence[Sequence[Mapping[str, int]]]) -> list[Trace]:
+        """Replay from-reset input sequences on the configured engine.
+
+        This is the refinement loop's simulation hot path: every iteration
+        replays the batch of fresh counterexample patterns.  On the batched
+        engine the whole batch advances together, ``sim_lanes`` sequences
+        per bit-parallel pass.
+        """
+        if self._batched_simulator is None:
+            return [self._simulator.run_vectors(list(sequence)) for sequence in sequences]
+        traces: list[Trace] = []
+        lanes = self._batched_simulator.lanes
+        for start in range(0, len(sequences), lanes):
+            chunk = [list(sequence) for sequence in sequences[start:start + lanes]]
+            traces.extend(self._batched_simulator.run_batch(chunk))
+        return traces
 
     # ------------------------------------------------------------------
     # main loop
@@ -191,13 +227,24 @@ class CoverageClosure:
 
     def _absorb_counterexamples(self, counterexamples: Iterable[Counterexample],
                                 result: ClosureResult) -> None:
-        """Simulate counterexamples and fold the traces into every dataset."""
+        """Simulate counterexamples and fold the traces into every dataset.
+
+        All pending counterexamples of one iteration are replayed as a
+        single batch (lane-parallel on the batched engine); the traces are
+        then folded into the datasets in counterexample order, so the
+        resulting trees are identical whichever engine replayed them.
+        """
+        pending: list[tuple[Counterexample, TestSequence]] = []
         for counterexample in counterexamples:
             vectors = [dict(vector) for vector in counterexample.input_vectors]
             if not vectors:
                 continue
             result.test_suite.append(vectors)
-            trace = self._simulate_sequence(vectors)
+            pending.append((counterexample, vectors))
+        if not pending:
+            return
+        traces = self._simulate_suite([vectors for _, vectors in pending])
+        for (counterexample, _), trace in zip(pending, traces):
             targets = self.contexts if self.share_counterexamples else [
                 context for context in self.contexts
                 if context.output == counterexample.assertion.consequent.signal

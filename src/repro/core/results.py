@@ -36,6 +36,37 @@ class IterationRecord:
             return 0.0
         return sum(self.input_space_coverage.values()) / len(self.input_space_coverage)
 
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form for artifact files (see :mod:`repro.runner`)."""
+        return {
+            "iteration": self.iteration,
+            "candidates_checked": self.candidates_checked,
+            "new_true_assertions": [a.to_json() for a in self.new_true_assertions],
+            "failed_assertions": [a.to_json() for a in self.failed_assertions],
+            "counterexamples": self.counterexamples,
+            "cumulative_true_assertions": self.cumulative_true_assertions,
+            "cumulative_test_cycles": self.cumulative_test_cycles,
+            "input_space_coverage": dict(self.input_space_coverage),
+            "extra_metrics": dict(self.extra_metrics),
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "IterationRecord":
+        return IterationRecord(
+            iteration=data["iteration"],
+            candidates_checked=data.get("candidates_checked", 0),
+            new_true_assertions=[Assertion.from_json(a)
+                                 for a in data.get("new_true_assertions", [])],
+            failed_assertions=[Assertion.from_json(a)
+                               for a in data.get("failed_assertions", [])],
+            counterexamples=data.get("counterexamples", 0),
+            cumulative_true_assertions=data.get("cumulative_true_assertions", 0),
+            cumulative_test_cycles=data.get("cumulative_test_cycles", 0),
+            input_space_coverage=dict(data.get("input_space_coverage", {})),
+            extra_metrics=dict(data.get("extra_metrics", {})),
+        )
+
 
 @dataclass
 class ClosureResult:
@@ -94,6 +125,45 @@ class ClosureResult:
             else:
                 series.append(record.mean_input_space_coverage)
         return series
+
+    def to_json(self) -> dict:
+        """Plain-dict form for artifact files.
+
+        Everything the run produced is preserved (iteration records,
+        assertions, the refined test suite), so a serialized result can be
+        re-aggregated or replayed without re-running the closure loop.
+        ``formal_seconds`` is wall-clock and therefore not deterministic.
+        """
+        return {
+            "module_name": self.module_name,
+            "outputs": list(self.outputs),
+            "converged": self.converged,
+            "iterations": [record.to_json() for record in self.iterations],
+            "true_assertions": {label: [a.to_json() for a in assertions]
+                                for label, assertions in self.true_assertions.items()},
+            "test_suite": [[dict(vector) for vector in sequence]
+                           for sequence in self.test_suite],
+            "formal_checks": self.formal_checks,
+            "formal_seconds": self.formal_seconds,
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "ClosureResult":
+        result = ClosureResult(
+            module_name=data["module_name"],
+            outputs=list(data.get("outputs", [])),
+            converged=data.get("converged", False),
+            iterations=[IterationRecord.from_json(record)
+                        for record in data.get("iterations", [])],
+            true_assertions={label: [Assertion.from_json(a) for a in assertions]
+                             for label, assertions in data.get("true_assertions", {}).items()},
+            test_suite=[[{str(k): int(v) for k, v in vector.items()}
+                         for vector in sequence]
+                        for sequence in data.get("test_suite", [])],
+            formal_checks=data.get("formal_checks", 0),
+            formal_seconds=data.get("formal_seconds", 0.0),
+        )
+        return result
 
     def summary_table(self) -> str:
         """Render a per-iteration summary similar to the paper's Figure 12."""

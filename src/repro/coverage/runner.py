@@ -25,6 +25,17 @@ class CoverageRunner:
     engine and evaluates compiled cover-point guards lane-parallel
     (:mod:`repro.coverage.batched`).  Both engines fill the same
     collectors, and produce identical reports for identical stimulus.
+
+    Typical use::
+
+        runner = CoverageRunner(module, fsm_signals=["state"],
+                                engine="batched", lanes=64)
+        runner.run_suite(result.test_suite)   # each sequence from reset
+        report = runner.report()              # merged CoverageReport
+        report.percent("line"), report.as_dict()
+
+    For one-shot measurements, :func:`measure_coverage` wraps the
+    construct/replay/report cycle in a single call.
     """
 
     def __init__(self, module: Module, collectors: Sequence[CoverageCollector] | None = None,

@@ -1,9 +1,19 @@
 """Experiment drivers reproducing every table and figure of the paper.
 
 Each module reproduces one artifact of Section 7 (plus the Section 6
-worked example and two ablations).  The benchmark harness under
-``benchmarks/`` simply calls these drivers and prints/validates their
-results, so the experiment logic is importable, testable library code.
+worked example and two ablations).  The drivers are importable, testable
+library code with no side effects; the layers above consume them:
+
+* ``python -m repro run <name>`` — the canonical entry point: every
+  driver is registered as a declarative job spec in
+  :mod:`repro.runner.specs` and runs sharded/parallel/checkpointed
+  (see ``docs/EXPERIMENTS.md`` for the command per artifact).
+* ``benchmarks/`` — full-scale regeneration with shape validation.
+* ``tests/experiments/`` — scaled-down smoke/shape tests.
+
+Every driver accepts ``sim_engine``/``sim_lanes`` to route the
+bit-parallel batched simulator through data generation, counterexample
+replay and coverage measurement; results are engine-independent.
 
 | Paper artifact | Driver |
 |----------------|--------|

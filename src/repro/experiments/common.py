@@ -27,6 +27,16 @@ class CoverageRow:
     def metric(self, name: str, default: float = float("nan")) -> float:
         return self.metrics.get(name, default)
 
+    def to_json(self) -> dict:
+        return {"design": self.design, "method": self.method,
+                "cycles": self.cycles, "metrics": dict(self.metrics)}
+
+    @staticmethod
+    def from_json(data: Mapping) -> "CoverageRow":
+        return CoverageRow(design=data["design"], method=data["method"],
+                           cycles=data.get("cycles", 0),
+                           metrics=dict(data.get("metrics", {})))
+
 
 @dataclass
 class ExperimentResult:
@@ -43,6 +53,47 @@ class ExperimentResult:
 
     def add_row(self, row: CoverageRow) -> None:
         self.rows.append(row)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Plain-dict form used as the runner's per-job artifact payload.
+
+        All fields are deterministic for a fixed (design, seed, config):
+        the runner's serial and parallel runs must produce byte-identical
+        payloads (``tests/runner/`` holds the runner to that).
+        """
+        return {
+            "name": self.name,
+            "description": self.description,
+            "series": {label: list(values) for label, values in self.series.items()},
+            "rows": [row.to_json() for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @staticmethod
+    def from_json(data: Mapping) -> "ExperimentResult":
+        return ExperimentResult(
+            name=data["name"],
+            description=data.get("description", ""),
+            series={label: list(values)
+                    for label, values in data.get("series", {}).items()},
+            rows=[CoverageRow.from_json(row) for row in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+        )
+
+    def merge(self, other: "ExperimentResult") -> None:
+        """Fold another shard of the same experiment into this result.
+
+        Used by the runner's aggregation step: each (design × seed) job
+        returns one :class:`ExperimentResult` shard and the shards merge
+        into the experiment's full table/series set.
+        """
+        for label, values in other.series.items():
+            self.series.setdefault(label, list(values))
+        self.rows.extend(other.rows)
+        for note in other.notes:
+            if note not in self.notes:
+                self.notes.append(note)
 
 
 # ----------------------------------------------------------------------

@@ -47,6 +47,7 @@ class Fig12Result:
     expression: list[float] = field(default_factory=list)
     converged: bool = False
     assertion_count: int = 0
+    test_suite_cycles: int = 0
 
     def as_experiment_result(self) -> ExperimentResult:
         result = ExperimentResult(
@@ -60,16 +61,25 @@ class Fig12Result:
         return result
 
 
-def run(window: int = 2, max_iterations: int = 16) -> Fig12Result:
-    """Reproduce Figure 12 on the Section 6 arbiter."""
+def run(window: int = 2, max_iterations: int = 16,
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig12Result:
+    """Reproduce Figure 12 on the Section 6 arbiter.
+
+    ``sim_engine``/``sim_lanes`` select the simulation back end for both the
+    closure loop's counterexample replay and the coverage measurement; the
+    result is identical, the batched engine is just faster.
+    """
     module = arbiter2()
     closure = CoverageClosure(module, outputs=["gnt0"],
                               config=GoldMineConfig(window=window,
-                                                    max_iterations=max_iterations))
+                                                    max_iterations=max_iterations,
+                                                    sim_engine=sim_engine,
+                                                    sim_lanes=sim_lanes))
     closure_result = closure.run(arbiter2_directed_test())
 
     measurement_module = arbiter2()
-    expression = metric_by_iteration(closure_result, measurement_module, "expr")
+    expression = metric_by_iteration(closure_result, measurement_module, "expr",
+                                     engine=sim_engine, lanes=sim_lanes)
     input_space = input_space_by_iteration(closure_result, "gnt0")
 
     return Fig12Result(
@@ -78,4 +88,5 @@ def run(window: int = 2, max_iterations: int = 16) -> Fig12Result:
         expression=expression,
         converged=closure_result.converged,
         assertion_count=len(closure_result.assertions_for("gnt0")),
+        test_suite_cycles=closure_result.total_test_cycles(),
     )

@@ -42,6 +42,7 @@ class DesignSpaceSeries:
     coverage_percent: list[float] = field(default_factory=list)
     converged: bool = False
     iterations: int = 0
+    test_suite_cycles: int = 0
 
 
 @dataclass
@@ -66,13 +67,15 @@ class Fig13Result:
 
 def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         seed_cycles: int = 4, random_seed: int = 1,
-        max_iterations: int = 20) -> Fig13Result:
+        max_iterations: int = 20,
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig13Result:
     """Run the Figure 13 study on the default design set."""
     result = Fig13Result()
     for design_name, output, group in subjects:
         meta = design_info(design_name)
         module = meta.build()
-        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations)
+        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
+                                sim_engine=sim_engine, sim_lanes=sim_lanes)
         closure = CoverageClosure(module, outputs=[output], config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()
@@ -87,6 +90,7 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
             coverage_percent=input_space_by_iteration(closure_result, label),
             converged=closure_result.converged,
             iterations=closure_result.iteration_count,
+            test_suite_cycles=closure_result.total_test_cycles(),
         )
         result.series.append(series)
     return result

@@ -44,6 +44,7 @@ class ExpressionSeries:
     design: str
     expression_percent: list[float] = field(default_factory=list)
     converged: bool = False
+    test_suite_cycles: int = 0
 
 
 @dataclass
@@ -69,14 +70,16 @@ class Fig14Result:
 
 
 def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
-        random_seed: int = 3, max_iterations: int = 20) -> Fig14Result:
+        random_seed: int = 3, max_iterations: int = 20,
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig14Result:
     """Run the Figure 14 study."""
     result = Fig14Result()
     for design_name in subjects:
         meta = design_info(design_name)
         module = meta.build()
         outputs = list(meta.mining_outputs) or None
-        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations)
+        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
+                                sim_engine=sim_engine, sim_lanes=sim_lanes)
         closure = CoverageClosure(module, outputs=outputs, config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()
@@ -88,8 +91,10 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
             expression_percent=metric_by_iteration(
                 closure_result, meta.build(), "expr",
                 fsm_signals=meta.fsm_signals or None,
+                engine=sim_engine, lanes=sim_lanes,
             ),
             converged=closure_result.converged,
+            test_suite_cycles=closure_result.total_test_cycles(),
         )
         result.series.append(series)
     return result

@@ -71,7 +71,8 @@ def _seed_vectors(module, random_cycles: int, random_seed: int, bias) -> list[di
 
 def run(design_name: str = "wbstage", random_cycles: int = 30,
         random_seed: int = 2, max_iterations: int = 16,
-        bias: dict[str, float] | None = None) -> Fig15Result:
+        bias: dict[str, float] | None = None,
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig15Result:
     """Run the high-coverage-block study."""
     meta = design_info(design_name)
     metrics = ("line", "branch", "cond", "expr", "toggle")
@@ -80,19 +81,22 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
     # Baseline: a reset pulse plus the biased random test on its own.
     baseline_module = meta.build()
     seed_vectors = _seed_vectors(baseline_module, random_cycles, random_seed, bias)
-    baseline_runner = CoverageRunner(baseline_module, fsm_signals=meta.fsm_signals or None)
+    baseline_runner = CoverageRunner(baseline_module, fsm_signals=meta.fsm_signals or None,
+                                     engine=sim_engine, lanes=sim_lanes)
     baseline_runner.run_vectors(seed_vectors)
     before = {metric: baseline_runner.report().get(metric, 0.0) or 0.0 for metric in metrics}
 
     # GoldMine refinement seeded with the same cycles.
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
-                            random_seed=random_seed)
+                            random_seed=random_seed,
+                            sim_engine=sim_engine, sim_lanes=sim_lanes)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
     closure_result = closure.run(seed_vectors)
 
     combined_module = meta.build()
-    combined_runner = CoverageRunner(combined_module, fsm_signals=meta.fsm_signals or None)
+    combined_runner = CoverageRunner(combined_module, fsm_signals=meta.fsm_signals or None,
+                                     engine=sim_engine, lanes=sim_lanes)
     combined_runner.run_suite(closure_result.test_suite)
     after = {metric: combined_runner.report().get(metric, 0.0) or 0.0 for metric in metrics}
 

@@ -27,16 +27,20 @@ def suite_prefix_for_record(result: ClosureResult, record: IterationRecord) -> l
 
 
 def metric_by_iteration(result: ClosureResult, module: Module, metric: str,
-                        fsm_signals: Sequence[str] | None = None) -> list[float]:
+                        fsm_signals: Sequence[str] | None = None,
+                        engine: str = "scalar", lanes: int = 64) -> list[float]:
     """Replay the growing test suite and report ``metric`` after each iteration.
 
     This reproduces the paper's "coverage increases monotonically with every
     iteration" plots: the suite after iteration *k* is the seed plus every
     counterexample pattern produced up to and including iteration *k*.
+    ``engine``/``lanes`` select the replay engine (see
+    :class:`~repro.coverage.runner.CoverageRunner`); reports are identical.
     """
     percentages: list[float] = []
     for record in result.iterations:
-        runner = CoverageRunner(module, fsm_signals=fsm_signals)
+        runner = CoverageRunner(module, fsm_signals=fsm_signals,
+                                engine=engine, lanes=lanes)
         runner.run_suite(suite_prefix_for_record(result, record))
         report = runner.report()
         percentages.append(report.get(metric, 0.0) or 0.0)

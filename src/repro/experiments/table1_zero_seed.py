@@ -53,6 +53,7 @@ class ZeroSeedSeries:
     coverage_percent: list[float] = field(default_factory=list)
     converged: bool = False
     iterations_to_closure: int | None = None
+    test_suite_cycles: int = 0
 
     def at_checkpoints(self, checkpoints: Sequence[int] = PAPER_CHECKPOINTS) -> list[float]:
         """Sample the series at the paper's checkpoints (holding the last value)."""
@@ -88,7 +89,8 @@ class Table1Result:
 
 
 def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
-        window: int | None = None, max_iterations: int = 24) -> Table1Result:
+        window: int | None = None, max_iterations: int = 24,
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Table1Result:
     """Run the zero-seed study: no initial patterns at all."""
     result = Table1Result()
     for design_name, output in subjects:
@@ -97,6 +99,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         config = GoldMineConfig(
             window=window if window is not None else meta.window,
             max_iterations=max_iterations,
+            sim_engine=sim_engine, sim_lanes=sim_lanes,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)
         closure_result = closure.run(None)
@@ -106,6 +109,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             output=output,
             coverage_percent=input_space_by_iteration(closure_result, label),
             converged=closure_result.converged,
+            test_suite_cycles=closure_result.total_test_cycles(),
         )
         for index, value in enumerate(series.coverage_percent):
             if value >= 100.0 - 1e-9:

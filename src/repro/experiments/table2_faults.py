@@ -54,6 +54,7 @@ class Table2Result:
     assertion_count: int
     campaign: FaultCampaignResult = None
     rows: list[tuple[str, int, int]] = field(default_factory=list)
+    test_suite_cycles: int = 0
 
     @property
     def all_detected(self) -> bool:
@@ -72,7 +73,8 @@ class Table2Result:
 
 
 def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
-                         max_iterations: int):
+                         max_iterations: int,
+                         sim_engine: str = "scalar", sim_lanes: int = 64):
     """Mine the golden design's assertion suite with the refinement loop.
 
     All outputs (including multi-bit buses, mined bit by bit) are covered so
@@ -81,7 +83,8 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
     """
     meta = design_info(design_name)
     module = meta.build()
-    config = GoldMineConfig(window=meta.window, max_iterations=max_iterations)
+    config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
+                            sim_engine=sim_engine, sim_lanes=sim_lanes)
     closure = CoverageClosure(module, outputs=None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     return module, result
@@ -91,10 +94,12 @@ def run(design_name: str = "fetch",
         fault_signals: Sequence[str] = DEFAULT_FAULT_SIGNALS,
         seed_cycles: int = 30, random_seed: int = 7,
         max_iterations: int = 16,
-        mode: str = "formal") -> Table2Result:
+        mode: str = "formal",
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Table2Result:
     """Run the fault-injection regression on the fetch stage."""
     module, closure_result = mine_assertion_suite(
-        design_name, seed_cycles, random_seed, max_iterations
+        design_name, seed_cycles, random_seed, max_iterations,
+        sim_engine=sim_engine, sim_lanes=sim_lanes,
     )
     assertions = closure_result.all_true_assertions
 
@@ -116,4 +121,5 @@ def run(design_name: str = "fetch",
         assertion_count=len(assertions),
         campaign=campaign,
         rows=rows,
+        test_suite_cycles=closure_result.total_test_cycles(),
     )

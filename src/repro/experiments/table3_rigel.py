@@ -61,7 +61,8 @@ class Table3Result:
 
 def run(modules: Sequence[str] = DEFAULT_MODULES,
         baseline_cycles: int = 1_000, baseline_seed: int = 11,
-        max_iterations: int = 16) -> Table3Result:
+        max_iterations: int = 16,
+        sim_engine: str = "scalar", sim_lanes: int = 64) -> Table3Result:
     """Run the Rigel coverage comparison.
 
     The baseline is each module's directed test (repeated to the requested
@@ -80,7 +81,7 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         # Baseline: the directed suite repeated up to the cycle budget.
         baseline_module = meta.build()
         runner = CoverageRunner(baseline_module, fsm_signals=meta.fsm_signals or None,
-                                prepend_reset=True)
+                                prepend_reset=True, engine=sim_engine, lanes=sim_lanes)
         cycles = 0
         while cycles < baseline_cycles:
             vectors = directed()
@@ -96,13 +97,14 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
 
         # GoldMine: counterexample-refined suite seeded with one directed pass.
         module = meta.build()
-        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations)
+        config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
+                                sim_engine=sim_engine, sim_lanes=sim_lanes)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(directed())
         goldmine_module = meta.build()
         goldmine_runner = CoverageRunner(goldmine_module, fsm_signals=meta.fsm_signals or None,
-                                         prepend_reset=True)
+                                         prepend_reset=True, engine=sim_engine, lanes=sim_lanes)
         goldmine_runner.run_suite(closure_result.test_suite)
         goldmine_report = goldmine_runner.report()
         result.rows.append(CoverageRow(

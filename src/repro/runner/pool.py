@@ -1,0 +1,111 @@
+"""Worker-pool execution of experiment job sets.
+
+``execute_jobs`` fans a list of :class:`~repro.runner.registry.JobSpec`
+jobs out across a ``multiprocessing`` pool (or runs them inline for
+``workers <= 1``), appending one checkpoint record per completed job as
+it finishes.  Jobs already present in the checkpoint are skipped, which
+is what makes a killed run resumable: re-invoking the same command picks
+up exactly where the log ends.
+
+Determinism contract: a job's payload depends only on its params, never
+on scheduling, so serial and parallel runs of the same job set produce
+identical artifact JSON (timing fields aside).  Failures are recorded
+(``status: "failed"`` with the exception text) rather than aborting the
+whole run; the surviving jobs still checkpoint, and the CLI exits
+non-zero.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Callable, Sequence
+
+from repro.runner.checkpoint import RunCheckpoint
+from repro.runner.registry import JobSpec, get_experiment
+
+
+def run_one_job(task: tuple[str, str, dict]) -> dict:
+    """Execute one (experiment, job_id, params) task; never raises.
+
+    This is the function pool workers run.  Only the task tuple crosses
+    the process boundary; the worker resolves the experiment spec from
+    the registry in its own interpreter.
+    """
+    experiment, job_id, params = task
+    record = {"job_id": job_id, "experiment": experiment}
+    start = time.perf_counter()
+    try:
+        spec = get_experiment(experiment)
+        payload, cycles = spec.execute(params)
+        record.update(status="ok", payload=payload, cycles=int(cycles))
+    except Exception as exc:  # noqa: BLE001 - failures become records
+        record.update(status="failed",
+                      error=f"{type(exc).__name__}: {exc}",
+                      trace=traceback.format_exc(limit=8))
+    record["seconds"] = round(time.perf_counter() - start, 6)
+    return record
+
+
+def execute_jobs(jobs: Sequence[JobSpec], checkpoint: RunCheckpoint,
+                 workers: int = 1,
+                 progress: Callable[[str], None] | None = None) -> dict[str, dict]:
+    """Run every job not already completed; return all records by job id.
+
+    ``workers`` caps pool size (it is further capped by the job count);
+    ``progress`` receives one human-readable line per job event.
+    """
+    def say(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    records = checkpoint.completed()
+    # A failed record does not count as done: re-running retries it.
+    done = {job_id for job_id, record in records.items()
+            if record.get("status") == "ok"}
+    pending = [job for job in jobs if job.job_id not in done]
+    skipped = len(jobs) - len(pending)
+    if skipped:
+        say(f"resume: {skipped}/{len(jobs)} jobs already complete, "
+            f"{len(pending)} to run")
+
+    total = len(jobs)
+    finished = skipped
+
+    def absorb(record: dict) -> None:
+        nonlocal finished
+        finished += 1
+        checkpoint.append(record)
+        records[record["job_id"]] = record
+        status = record["status"]
+        note = f"{record['seconds']:.2f}s"
+        if status != "ok":
+            note = record.get("error", status)
+        say(f"[{finished}/{total}] {record['job_id']} {status} ({note})")
+
+    if not pending:
+        return records
+
+    workers = max(1, min(workers, len(pending)))
+    if workers == 1:
+        for job in pending:
+            absorb(run_one_job(job.task()))
+        return records
+
+    import multiprocessing
+
+    # Prefer the fork start method where available: workers inherit the
+    # parent's registry, so specs registered at runtime (not just the
+    # import-time built-ins) resolve in the children.  Under spawn the
+    # children re-import the registry from scratch and only built-in
+    # specs exist.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - Windows
+        context = multiprocessing.get_context()
+
+    with context.Pool(processes=workers) as pool:
+        for record in pool.imap_unordered(run_one_job,
+                                          [job.task() for job in pending]):
+            absorb(record)
+    return records

@@ -1,0 +1,106 @@
+"""Aggregating job shards into the experiment's artifact (tables/series).
+
+Every job payload is an :class:`~repro.experiments.common.ExperimentResult`
+dict; aggregation merges the shards in job-id order (never completion
+order, so the aggregate is independent of scheduling) into one result,
+then attaches per-job accounting.  The aggregate is written to
+``result.json`` in the run directory and rendered as the paper's
+tables/series by :func:`render_result`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.common import ExperimentResult, format_table
+from repro.runner.registry import JobSpec
+
+
+def aggregate_records(experiment: str, jobs: Sequence[JobSpec],
+                      records: Mapping[str, Mapping]) -> dict:
+    """Merge completed job records into the run's ``result.json`` document."""
+    merged: ExperimentResult | None = None
+    accounting = []
+    failures = []
+    for job in sorted(jobs, key=lambda job: job.job_id):
+        record = records.get(job.job_id)
+        if record is None:
+            failures.append({"job_id": job.job_id, "error": "not run"})
+            continue
+        accounting.append({
+            "job_id": job.job_id,
+            "status": record.get("status"),
+            "seconds": record.get("seconds", 0.0),
+            "cycles": record.get("cycles", 0),
+        })
+        if record.get("status") != "ok":
+            failures.append({"job_id": job.job_id,
+                             "error": record.get("error", "failed")})
+            continue
+        shard = ExperimentResult.from_json(record["payload"])
+        if merged is None:
+            merged = shard
+        else:
+            merged.merge(shard)
+    if merged is None:
+        merged = ExperimentResult(name=experiment, description="(no completed jobs)")
+    document = merged.to_json()
+    document["experiment"] = experiment
+    document["jobs"] = accounting
+    if failures:
+        document["failures"] = failures
+    return document
+
+
+def render_result(document: Mapping) -> str:
+    """Render an aggregated ``result.json`` document as fixed-width tables."""
+    lines: list[str] = []
+    name = document.get("experiment", document.get("name", "?"))
+    description = document.get("description", "")
+    lines.append(f"== {name}: {description}")
+
+    series = document.get("series") or {}
+    if series:
+        depth = max(len(values) for values in series.values())
+        headers = ["series"] + [str(index) for index in range(depth)]
+        rows = []
+        for label in series:
+            values = series[label]
+            rows.append([label] + [f"{value:.2f}" for value in values] +
+                        [""] * (depth - len(values)))
+        lines.append(format_table(headers, rows))
+
+    rows = document.get("rows") or []
+    if rows:
+        metric_names: list[str] = []
+        for row in rows:
+            for metric in row.get("metrics", {}):
+                if metric not in metric_names:
+                    metric_names.append(metric)
+        headers = ["design", "method", "cycles"] + [f"{m}%" for m in metric_names]
+        table_rows = []
+        for row in rows:
+            metrics = row.get("metrics", {})
+            table_rows.append(
+                [row["design"], row["method"], row.get("cycles", 0)] +
+                [f"{metrics[m]:.2f}" if m in metrics else "-" for m in metric_names])
+        lines.append(format_table(headers, table_rows))
+
+    for note in document.get("notes") or []:
+        lines.append(f"note: {note}")
+
+    accounting = document.get("jobs") or []
+    if accounting:
+        lines.append("")
+        lines.append(format_table(
+            ["job", "status", "seconds", "cycles"],
+            [[entry["job_id"], entry["status"], f"{entry['seconds']:.2f}",
+              entry["cycles"]] for entry in accounting]))
+        total_seconds = sum(entry["seconds"] for entry in accounting)
+        total_cycles = sum(entry["cycles"] for entry in accounting)
+        lines.append(f"total: {len(accounting)} jobs, {total_seconds:.2f}s "
+                     f"worker time, {total_cycles} test cycles")
+
+    for failure in document.get("failures") or []:
+        lines.append(f"FAILED: {failure['job_id']}: {failure['error']}")
+    return "\n".join(lines)

@@ -12,6 +12,19 @@ Two engines implement it:
 Code that only needs ``reset``/``step``/``peek`` can hold either engine
 through :class:`SimulatorBase`; :func:`create_simulator` selects one by
 name (the same names :class:`repro.core.config.GoldMineConfig` uses).
+
+Typical use::
+
+    sim = create_simulator(module, engine="batched", lanes=64)
+    sim.reset()
+    sample = sim.step({"req0": [0, 1] * 32})   # per-lane values, or an
+    sim.peek("gnt0")                           # int to broadcast all lanes
+
+Everything downstream selects engines through this factory: the mining
+data generator and the closure loop's counterexample replay via
+``GoldMineConfig(sim_engine=..., sim_lanes=...)``, coverage replay via
+``CoverageRunner(engine=..., lanes=...)``, and the CLI via
+``python -m repro run <experiment> --engine batched --lanes N``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,111 @@
+"""Serialization round-trips and engine-independence of the closure loop."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import GoldMineConfig
+from repro.core.refinement import CoverageClosure
+from repro.core.results import ClosureResult
+from repro.designs import info as design_info
+from repro.experiments.common import CoverageRow, ExperimentResult
+
+
+def _closure_json(design: str, engine: str, lanes: int = 8,
+                  outputs=None, seed=True) -> dict:
+    meta = design_info(design)
+    module = meta.build()
+    config = GoldMineConfig(window=meta.window, max_iterations=20,
+                            sim_engine=engine, sim_lanes=lanes)
+    closure = CoverageClosure(module, outputs=outputs, config=config)
+    result = closure.run(meta.seed_vectors() if seed else None)
+    data = result.to_json()
+    data.pop("formal_seconds")  # wall-clock
+    return data
+
+
+class TestClosureResultJson:
+    def test_round_trip_preserves_everything_deterministic(self):
+        data = _closure_json("arbiter2", "scalar", outputs=["gnt0"])
+        rebuilt = ClosureResult.from_json(data)
+        again = rebuilt.to_json()
+        again.pop("formal_seconds")
+        assert json.dumps(again, sort_keys=True) == json.dumps(data, sort_keys=True)
+
+    def test_round_trip_keeps_assertion_semantics(self):
+        data = _closure_json("arbiter2", "scalar", outputs=["gnt0"])
+        rebuilt = ClosureResult.from_json(data)
+        assert rebuilt.converged
+        assert rebuilt.input_space_coverage("gnt0") == 1.0
+        assert rebuilt.total_test_cycles() == \
+            data["iterations"][-1]["cumulative_test_cycles"]
+
+    def test_json_is_plain_data(self):
+        data = _closure_json("arbiter2", "scalar", outputs=["gnt0"])
+        json.dumps(data)  # raises if any non-JSON type leaked through
+
+    def test_assertion_metadata_survives_round_trip(self):
+        from repro.assertions.assertion import Assertion, Literal
+
+        assertion = Assertion((Literal("req0", 1),), Literal("gnt0", 1, cycle=1),
+                              window=1, name="a0", confidence=0.75, support=12)
+        rebuilt = Assertion.from_json(assertion.to_json())
+        assert rebuilt == assertion
+        assert rebuilt.name == "a0"
+        assert rebuilt.confidence == 0.75
+        assert rebuilt.support == 12
+
+
+class TestClosureEngineIndependence:
+    """config.sim_engine must not change what the closure loop computes."""
+
+    @pytest.mark.parametrize("design,outputs,seed", [
+        ("arbiter2", ["gnt0"], True),
+        ("arbiter4", ["gnt0"], False),
+        ("b01", None, False),
+    ])
+    def test_batched_replay_matches_scalar(self, design, outputs, seed):
+        scalar = _closure_json(design, "scalar", outputs=outputs, seed=seed)
+        batched = _closure_json(design, "batched", outputs=outputs, seed=seed)
+        assert json.dumps(scalar, sort_keys=True) == \
+            json.dumps(batched, sort_keys=True)
+
+
+class TestConfigJson:
+    def test_round_trip(self):
+        config = GoldMineConfig(window=2, max_iterations=7, sim_engine="batched",
+                                sim_lanes=16, input_bias={"req0": 0.25})
+        rebuilt = GoldMineConfig.from_json(config.to_json())
+        assert rebuilt == config
+
+    def test_unknown_keys_ignored(self):
+        data = GoldMineConfig().to_json()
+        data["from_the_future"] = True
+        GoldMineConfig.from_json(data)
+
+
+class TestExperimentResultJson:
+    def test_round_trip_with_rows_and_series(self):
+        result = ExperimentResult(name="x", description="d")
+        result.add_series("s", [1.0, 2.0])
+        result.add_row(CoverageRow(design="b01", method="random", cycles=10,
+                                   metrics={"line": 50.0}))
+        result.notes.append("n")
+        rebuilt = ExperimentResult.from_json(result.to_json())
+        assert rebuilt.to_json() == result.to_json()
+
+    def test_merge_combines_shards(self):
+        left = ExperimentResult(name="x", description="d")
+        left.add_series("a", [1.0])
+        left.notes.append("shared")
+        right = ExperimentResult(name="x", description="d")
+        right.add_series("b", [2.0])
+        right.add_row(CoverageRow(design="b01", method="random", cycles=1))
+        right.notes.append("shared")
+        right.notes.append("extra")
+        left.merge(right)
+        assert set(left.series) == {"a", "b"}
+        assert len(left.rows) == 1
+        assert left.notes == ["shared", "extra"]

@@ -1,0 +1,190 @@
+"""End-to-end CLI smoke tests: ``python -m repro`` as a subprocess.
+
+These hold the acceptance criteria: ``run fig12 --workers 4`` produces
+artifact JSON identical (modulo timing) to the serial run, a killed run
+resumes without re-running completed jobs, and the documented commands
+exit 0 at smoke scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def repro_cli(*args: str, cwd: Path | None = None,
+              check: bool = True) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    process = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=env, cwd=cwd or REPO_ROOT,
+        timeout=120,
+    )
+    if check and process.returncode != 0:
+        raise AssertionError(
+            f"python -m repro {' '.join(args)} exited "
+            f"{process.returncode}\nstdout:\n{process.stdout}\n"
+            f"stderr:\n{process.stderr}")
+    return process
+
+
+def _stripped_result(run_dir: Path) -> str:
+    document = json.loads((run_dir / "result.json").read_text())
+    document.pop("jobs", None)  # wall-clock accounting
+    return json.dumps(document, sort_keys=True)
+
+
+class TestList:
+    def test_list_names_every_artifact(self):
+        out = repro_cli("list").stdout
+        for name in ("fig12", "fig13", "fig16", "table1", "table3",
+                     "walkthrough", "sweep", "arbiter2", "b01"):
+            assert name in out
+
+    def test_list_json(self):
+        data = json.loads(repro_cli("list", "--json").stdout)
+        names = {entry["name"] for entry in data["experiments"]}
+        assert {"fig12", "sweep"} <= names
+        assert any(d["name"] == "arbiter2" for d in data["designs"])
+
+
+class TestRun:
+    def test_fig12_parallel_matches_serial(self, tmp_path):
+        """Acceptance: run fig12 --workers 4 == the serial run, modulo timing."""
+        repro_cli("run", "fig12", "--workers", "1",
+                  "--artifacts", str(tmp_path / "serial"), "--quiet")
+        repro_cli("run", "fig12", "--workers", "4",
+                  "--artifacts", str(tmp_path / "parallel"), "--quiet")
+        assert _stripped_result(tmp_path / "serial" / "fig12") == \
+            _stripped_result(tmp_path / "parallel" / "fig12")
+
+    def test_fig12_reproduces_paper_series(self, tmp_path):
+        repro_cli("run", "fig12", "--artifacts", str(tmp_path), "--quiet")
+        document = json.loads((tmp_path / "fig12" / "result.json").read_text())
+        series = document["series"]["input_space_%"]
+        assert series[0] == 0.0
+        assert series[-1] == 100.0
+
+    def test_sweep_smoke(self, tmp_path):
+        out = repro_cli("run", "sweep", "--designs", "arbiter2", "--seeds", "0,1",
+                        "--smoke", "--artifacts", str(tmp_path), "--quiet",
+                        "--json").stdout
+        document = json.loads(out)
+        methods = {row["method"] for row in document["rows"]}
+        assert methods == {"seed0", "seed1"}
+
+    def test_unknown_experiment_exits_2(self, tmp_path):
+        process = repro_cli("run", "nonesuch", "--artifacts", str(tmp_path),
+                            check=False)
+        assert process.returncode == 2
+        assert "unknown experiment" in process.stderr
+
+    def test_fixed_subject_rejects_designs(self, tmp_path):
+        """fig15 always runs wbstage; --designs must error, not be ignored."""
+        process = repro_cli("run", "fig15", "--designs", "b01",
+                            "--artifacts", str(tmp_path), check=False)
+        assert process.returncode == 2
+        assert "wbstage" in process.stderr
+
+    def test_duplicate_designs_deduplicated(self, tmp_path):
+        out = repro_cli("run", "sweep", "--designs", "arbiter2,arbiter2",
+                        "--seeds", "0", "--smoke", "--artifacts", str(tmp_path),
+                        "--quiet", "--json").stdout
+        document = json.loads(out)
+        assert len(document["jobs"]) == 1
+
+    def test_mismatched_resume_refused(self, tmp_path):
+        repro_cli("run", "fig12", "--artifacts", str(tmp_path),
+                  "--run-id", "shared", "--quiet")
+        process = repro_cli("run", "fig12", "--engine", "batched",
+                            "--artifacts", str(tmp_path), "--run-id", "shared",
+                            check=False)
+        assert process.returncode == 2
+        assert "--fresh" in process.stderr
+        # --fresh discards the old checkpoint and proceeds
+        repro_cli("run", "fig12", "--engine", "batched", "--fresh",
+                  "--artifacts", str(tmp_path), "--run-id", "shared", "--quiet")
+
+    def test_ignored_flag_does_not_block_resume(self, tmp_path):
+        """fig12 ignores --seeds, so the job set is unchanged and the run
+        directory must be resumable."""
+        repro_cli("run", "fig12", "--artifacts", str(tmp_path), "--quiet")
+        process = repro_cli("run", "fig12", "--seeds", "5",
+                            "--artifacts", str(tmp_path))
+        assert "resume: 1/1 jobs already complete" in process.stderr
+
+    def test_engine_batched_matches_scalar(self, tmp_path):
+        repro_cli("run", "fig12", "--artifacts", str(tmp_path / "scalar"),
+                  "--quiet")
+        repro_cli("run", "fig12", "--engine", "batched", "--lanes", "16",
+                  "--artifacts", str(tmp_path / "batched"), "--quiet")
+        scalar = json.loads((tmp_path / "scalar" / "fig12" / "result.json").read_text())
+        batched = json.loads((tmp_path / "batched" / "fig12" / "result.json").read_text())
+        assert scalar["series"] == batched["series"]
+
+
+class TestResume:
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        """Simulated mid-sweep kill: pre-seed the checkpoint with some of the
+        jobs, then verify the CLI only runs the missing ones."""
+        artifacts = tmp_path / "artifacts"
+        repro_cli("run", "sweep", "--designs", "arbiter2,b01", "--smoke",
+                  "--artifacts", str(artifacts), "--quiet")
+        run_dir = artifacts / "sweep"
+        lines = run_dir.joinpath("jobs.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+
+        # Keep only the first job's record + a torn partial line — what a
+        # kill -9 mid-append leaves behind — and drop the aggregate.
+        run_dir.joinpath("jobs.jsonl").write_text(
+            lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        run_dir.joinpath("result.json").unlink()
+
+        process = repro_cli("run", "sweep", "--designs", "arbiter2,b01",
+                            "--smoke", "--artifacts", str(artifacts))
+        assert "resume: 1/2 jobs already complete" in process.stderr
+        resumed = json.loads(run_dir.joinpath("result.json").read_text())
+        resumed.pop("jobs")
+        # compare against a fresh uninterrupted run
+        repro_cli("run", "sweep", "--designs", "arbiter2,b01", "--smoke",
+                  "--artifacts", str(tmp_path / "ref"), "--quiet")
+        reference = json.loads(
+            (tmp_path / "ref" / "sweep" / "result.json").read_text())
+        reference.pop("jobs")
+        assert resumed == reference
+
+
+class TestReport:
+    def test_report_renders_existing_run(self, tmp_path):
+        repro_cli("run", "walkthrough", "--smoke", "--artifacts", str(tmp_path),
+                  "--quiet")
+        out = repro_cli("report", str(tmp_path / "walkthrough")).stdout
+        assert "input_space_%" in out
+        assert "SVA" in out
+
+    def test_report_json_round_trips(self, tmp_path):
+        repro_cli("run", "fig12", "--smoke", "--artifacts", str(tmp_path),
+                  "--quiet")
+        document = json.loads(
+            repro_cli("report", str(tmp_path / "fig12"), "--json").stdout)
+        assert document["experiment"] == "fig12"
+
+    def test_report_missing_dir_exits_2(self, tmp_path):
+        process = repro_cli("report", str(tmp_path / "nope"), check=False)
+        assert process.returncode == 2
+
+    def test_report_json_missing_dir_exits_2_without_traceback(self, tmp_path):
+        process = repro_cli("report", str(tmp_path / "nope"), "--json",
+                            check=False)
+        assert process.returncode == 2
+        assert "Traceback" not in process.stderr

@@ -7,11 +7,41 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_engine_surface_exported(self):
+        """The PR-1 engine API must be reachable from the top level."""
+        from repro import SIM_ENGINES, SimulatorBase, create_simulator
+        from repro.designs import arbiter2
+
+        assert set(SIM_ENGINES) == {"scalar", "batched"}
+        simulator = create_simulator(arbiter2(), engine="batched", lanes=4)
+        assert isinstance(simulator, SimulatorBase)
+        assert simulator.lanes == 4
+
+    def test_coverage_surface_exported(self):
+        from repro import CoverageRunner, RandomStimulus, measure_coverage
+        from repro.designs import arbiter2
+
+        runner = CoverageRunner(arbiter2())
+        runner.run_stimulus(RandomStimulus(8, seed=1))
+        assert runner.report().percent("line") > 0.0
+        report = measure_coverage(arbiter2(), RandomStimulus(8, seed=1))
+        assert report.as_dict() == runner.report().as_dict()
+
+    def test_runner_surface_importable(self):
+        """repro.runner is intentionally not imported at top level (it pulls
+        the experiment drivers); it must import cleanly on demand."""
+        from repro.runner import RunOptions, experiment_names, get_experiment
+
+        names = experiment_names()
+        assert "fig12" in names and "sweep" in names
+        jobs = get_experiment("fig13").expand(RunOptions(smoke=True))
+        assert all(job.experiment == "fig13" for job in jobs)
 
     def test_readme_quickstart_flow(self):
         """The README/docstring quickstart must keep working verbatim."""

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Execute every command block in docs/EXPERIMENTS.md so the docs can't rot.
+
+Rules:
+
+* Every non-comment line inside a ```sh fence must be a ``python -m repro``
+  command — anything else is a documentation error (this keeps the guide
+  runnable end to end).
+* ``run`` commands get ``--smoke --quiet`` appended so the whole sweep
+  finishes in CI time; ``list``/``report`` commands run as written.
+* Commands run in document order inside one scratch directory, so a
+  ``report artifacts/<name>`` command sees the artifacts the preceding
+  ``run`` produced — exactly what a reader following the guide gets.
+
+Also runs ``examples/quickstart.py`` when ``--quickstart`` is passed.
+
+Usage:  PYTHONPATH=src python tools/check_docs.py [--quickstart] [DOC ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FENCE = re.compile(r"^```(.*)$")
+SHELL_LANGUAGES = {"sh", "bash", "shell", "console"}
+
+
+def extract_commands(doc: Path) -> list[str]:
+    """Command lines from every shell fence, in document order.
+
+    Any fence whose info string names a shell language is a command
+    block; a ``python -m repro`` line inside any *other* fence is an
+    error, so a mis-tagged fence fails the check instead of silently
+    exempting its commands from CI.
+    """
+    commands: list[str] = []
+    language: str | None = None
+    for line in doc.read_text().splitlines():
+        fence = FENCE.match(line.strip())
+        if fence:
+            if language is None:  # opening fence; keep only the language word
+                info = fence.group(1).strip()
+                language = info.split()[0].lower() if info else ""
+            else:  # closing fence
+                language = None
+            continue
+        if language is None:
+            continue
+        command = line.strip()
+        if language not in SHELL_LANGUAGES:
+            if command.startswith("python -m repro"):
+                raise SystemExit(
+                    f"{doc}: command found in a '{language or 'untagged'}' "
+                    f"fence: {command!r}\n(commands must live in a sh fence "
+                    "so CI executes them)")
+            continue
+        if not command or command.startswith("#"):
+            continue
+        if not command.startswith("python -m repro"):
+            raise SystemExit(
+                f"{doc}: non-runnable line inside a sh fence: {command!r}\n"
+                "(sh fences in the experiment guide must contain only "
+                "'python -m repro ...' commands; use a 'text' fence for output)")
+        commands.append(command)
+    return commands
+
+
+def smoke_variant(command: str) -> list[str]:
+    """The argv actually executed in CI: run commands at smoke scale."""
+    argv = shlex.split(command)
+    argv[0] = sys.executable  # "python" -> this interpreter
+    if "run" in argv and "--smoke" not in argv:
+        argv += ["--smoke"]
+    if "run" in argv and "--quiet" not in argv:
+        argv += ["--quiet"]
+    return argv
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("docs", nargs="*",
+                        default=[str(REPO_ROOT / "docs" / "EXPERIMENTS.md")])
+    parser.add_argument("--quickstart", action="store_true",
+                        help="also execute examples/quickstart.py")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+
+    failures = 0
+    if args.quickstart:
+        script = REPO_ROOT / "examples" / "quickstart.py"
+        print(f"$ python {script.relative_to(REPO_ROOT)}", flush=True)
+        result = subprocess.run([sys.executable, str(script)], env=env,
+                                cwd=REPO_ROOT)
+        failures += result.returncode != 0
+
+    for doc in map(Path, args.docs):
+        commands = extract_commands(doc)
+        if not commands:
+            print(f"{doc}: no sh command blocks found", file=sys.stderr)
+            return 2
+        with tempfile.TemporaryDirectory(prefix="check-docs-") as scratch:
+            for command in commands:
+                argv = smoke_variant(command)
+                print(f"$ {command}", flush=True)
+                result = subprocess.run(argv, env=env, cwd=scratch)
+                if result.returncode != 0:
+                    print(f"FAILED (exit {result.returncode}): {command}",
+                          file=sys.stderr)
+                    failures += 1
+        print(f"{doc}: {len(commands)} commands checked")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
