@@ -2,8 +2,29 @@
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 
 def run_once(benchmark, function, *args, **kwargs):
     """Benchmark an expensive experiment with a single measured round."""
     return benchmark.pedantic(function, args=args, kwargs=kwargs,
                               rounds=1, iterations=1, warmup_rounds=0)
+
+
+def write_bench_json(name: str, payload: dict,
+                     directory: str | os.PathLike | None = None) -> Path:
+    """Write a machine-readable benchmark artifact ``BENCH_<name>.json``.
+
+    The output directory is resolved from ``directory``, then the
+    ``BENCH_OUTPUT_DIR`` environment variable, then the repository root —
+    so CI can collect every ``BENCH_*.json`` with one glob.  Returns the
+    written path.
+    """
+    target = Path(directory or os.environ.get("BENCH_OUTPUT_DIR")
+                  or Path(__file__).resolve().parent.parent)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,150 @@
+"""Incremental vs fresh-solver bounded model checking throughput.
+
+Batch-checks miner-shaped candidate assertions on the bundled designs
+with the historical cold path (fresh ``CnfBuilder`` + ``SatSolver`` per
+(assertion, window) query) and the incremental path (one persistent
+solver context per design, activation-literal queries), per design ×
+assertion-count × bound.  Emits the machine-readable
+``BENCH_formal_bmc.json`` artifact via :func:`_utils.write_bench_json`.
+
+Shape requirements:
+
+* the two paths agree on every verdict and every counterexample window
+  (any divergence fails the benchmark — this is the CI smoke contract);
+* at full scale, ``check_all`` over 20 assertions at bound 10 is at
+  least 5x faster incrementally on at least two designs.
+
+Set ``FORMAL_BENCH_SMOKE=1`` to run a seconds-scale configuration (tiny
+bounds, fewer assertions) that still exercises the divergence check —
+that is what the CI perf-smoke job runs on every push; timing is
+reported but never asserted there.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+from _utils import run_once, write_bench_json
+
+from repro.assertions.assertion import Assertion, Literal
+from repro.designs import load
+from repro.experiments.common import format_table
+from repro.formal.bmc import BmcModelChecker
+
+SMOKE = os.environ.get("FORMAL_BENCH_SMOKE", "") not in ("", "0")
+
+DESIGNS = ("arbiter2", "b01") if SMOKE else ("arbiter2", "arbiter4", "b01", "b09")
+ASSERTION_COUNTS = (6,) if SMOKE else (20, 40)
+BOUNDS = (3,) if SMOKE else (5, 10)
+#: The acceptance gate: (assertion_count, bound) cell and minimum number
+#: of designs that must clear the 5x bar (full scale only).
+GATE_CELL = (20, 10)
+GATE_MIN_DESIGNS = 2
+GATE_SPEEDUP = 5.0
+
+
+def miner_shaped_assertions(module, count, seed=7):
+    """Random window-1/2 candidates like the decision-tree miner emits."""
+    rng = random.Random(seed)
+    single_bit = [name for name in module.data_input_names + module.state_names
+                  if module.width_of(name) == 1]
+    outputs = [name for name in module.output_names if module.width_of(name) == 1]
+    registers = set(module.state_names)
+    assertions = []
+    while len(assertions) < count:
+        window = rng.choice([1, 2])
+        antecedent = tuple(
+            Literal(name, rng.randint(0, 1), rng.randrange(window))
+            for name in rng.sample(single_bit, k=min(2, len(single_bit)))
+        )
+        output = rng.choice(outputs)
+        cycle = window if output in registers else window - 1
+        assertions.append(
+            Assertion(antecedent, Literal(output, rng.randint(0, 1), cycle), window))
+    return assertions
+
+
+def _measure(module, assertions, bound, incremental):
+    engine = BmcModelChecker(module, bound=bound, incremental=incremental)
+    start = time.perf_counter()
+    results = engine.check_all(assertions)
+    return time.perf_counter() - start, results, engine
+
+
+def test_incremental_bmc_speedup(benchmark, print_section):
+    # The harness-timed sample: one representative incremental batch.
+    sample_module = load(DESIGNS[-1])
+    sample = miner_shaped_assertions(sample_module, ASSERTION_COUNTS[0])
+    run_once(benchmark, lambda: BmcModelChecker(
+        sample_module, bound=BOUNDS[-1], incremental=True).check_all(sample))
+
+    headers = ["design", "assertions", "bound", "fresh s", "incremental s",
+               "speedup", "divergences"]
+    table_rows = []
+    json_rows = []
+    divergences_total = 0
+    gate_speedups = {}
+    for design_name in DESIGNS:
+        module = load(design_name)
+        for count in ASSERTION_COUNTS:
+            assertions = miner_shaped_assertions(module, count)
+            for bound in BOUNDS:
+                fresh_seconds, fresh_results, _ = _measure(
+                    module, assertions, bound, incremental=False)
+                incremental_seconds, incremental_results, engine = _measure(
+                    module, assertions, bound, incremental=True)
+                divergences = 0
+                for old, new in zip(fresh_results, incremental_results):
+                    if old.verdict is not new.verdict:
+                        divergences += 1
+                    elif (old.counterexample is not None
+                          and old.counterexample.window_start
+                          != new.counterexample.window_start):
+                        divergences += 1
+                divergences_total += divergences
+                speedup = fresh_seconds / incremental_seconds if incremental_seconds else 0.0
+                if (count, bound) == GATE_CELL:
+                    gate_speedups[design_name] = speedup
+                verdicts = {"true": 0, "false": 0, "unknown": 0}
+                for result in incremental_results:
+                    verdicts[result.verdict.value] += 1
+                table_rows.append([design_name, count, bound,
+                                   f"{fresh_seconds:.3f}", f"{incremental_seconds:.3f}",
+                                   f"{speedup:.1f}x", divergences])
+                json_rows.append({
+                    "design": design_name,
+                    "assertion_count": count,
+                    "bound": bound,
+                    "fresh_seconds": fresh_seconds,
+                    "incremental_seconds": incremental_seconds,
+                    "speedup": speedup,
+                    "verdicts": verdicts,
+                    "divergences": divergences,
+                    "reuse": engine.reuse_stats(),
+                })
+
+    payload = {
+        "benchmark": "formal_bmc",
+        "smoke": SMOKE,
+        "gate": {"cell": list(GATE_CELL), "min_designs": GATE_MIN_DESIGNS,
+                 "speedup": GATE_SPEEDUP},
+        "rows": json_rows,
+    }
+    artifact = write_bench_json("formal_bmc", payload)
+
+    print_section(
+        "E14 — incremental vs fresh-solver BMC (check_all batches)",
+        format_table(headers, table_rows) + f"\nartifact: {artifact}")
+
+    # Contract 1 (always, including CI smoke): verdict/window equivalence.
+    assert divergences_total == 0, "incremental BMC diverged from the fresh path"
+
+    # Contract 2 (full scale only): the headline speedup.
+    if not SMOKE:
+        fast_designs = [name for name, speedup in gate_speedups.items()
+                        if speedup >= GATE_SPEEDUP]
+        assert len(fast_designs) >= GATE_MIN_DESIGNS, (
+            f"expected >= {GATE_SPEEDUP}x on >= {GATE_MIN_DESIGNS} designs at "
+            f"{GATE_CELL}, got {gate_speedups}")

@@ -60,7 +60,7 @@ from repro.sim import (
     create_simulator,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Assertion",

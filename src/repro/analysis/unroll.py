@@ -45,6 +45,31 @@ class UnrolledDesign:
     state_bit_names: list[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------
+    def view(self, last_cycle: int) -> "UnrolledDesign":
+        """A shallow view of this unrolling truncated to ``last_cycle``.
+
+        The bit-function table is shared (the same interned ``BoolExpr``
+        objects, which is what lets a persistent CNF encoder reuse work
+        across queries of different depths); only the per-cycle metadata is
+        filtered, so :meth:`model_to_vectors` produces exactly the vectors
+        a fresh unrolling of ``last_cycle`` would.  Always returns a new
+        wrapper — the caller's ``last_cycle`` must not change when the
+        backing unrolling is later extended.
+        """
+        if last_cycle > self.last_cycle:
+            raise ValueError(
+                f"cannot view cycle {last_cycle} of an unrolling that stops "
+                f"at {self.last_cycle}"
+            )
+        return UnrolledDesign(
+            self.module, last_cycle, self.from_reset,
+            bits=self.bits,
+            input_bit_names={cycle: names
+                             for cycle, names in self.input_bit_names.items()
+                             if cycle <= last_cycle},
+            state_bit_names=self.state_bit_names,
+        )
+
     def signal_bits(self, name: str, cycle: int) -> list[BoolExpr]:
         try:
             return self.bits[(name, cycle)]
@@ -111,22 +136,47 @@ class UnrolledDesign:
 
 
 class Unroller:
-    """Unrolls a module's synthesized functions over a bounded window."""
+    """Unrolls a module's synthesized functions over a bounded window.
+
+    With ``cache=True`` (the default) the unroller keeps one master
+    :class:`UnrolledDesign` per ``from_reset`` flag and extends it
+    monotonically: asking for a depth already covered is a dictionary
+    lookup, asking for a deeper one only builds the missing cycles.
+    Callers receive a truncated :meth:`UnrolledDesign.view` when they ask
+    for less than the master's depth, so results are indistinguishable
+    from a fresh unrolling — except that the bit functions are the *same*
+    interned objects across calls, which downstream encoders exploit.
+    """
 
     def __init__(self, module: Module, synth: SynthesizedModule | None = None,
-                 constrain_reset: bool = True):
+                 constrain_reset: bool = True, cache: bool = True):
         self.module = module
         self.synth = synth or synthesize(module)
         self.constrain_reset = constrain_reset
+        self._cache: dict[bool, UnrolledDesign] | None = {} if cache else None
 
     # ------------------------------------------------------------------
     def unroll(self, last_cycle: int, from_reset: bool = True) -> UnrolledDesign:
         """Build bit functions for every signal at cycles ``0 .. last_cycle``."""
-        design = UnrolledDesign(self.module, last_cycle, from_reset)
+        if self._cache is None:
+            design = UnrolledDesign(self.module, -1, from_reset)
+            self._extend(design, last_cycle)
+            return design
+        master = self._cache.get(from_reset)
+        if master is None:
+            master = UnrolledDesign(self.module, -1, from_reset)
+            self._cache[from_reset] = master
+        if master.last_cycle < last_cycle:
+            self._extend(master, last_cycle)
+        return master.view(last_cycle)
+
+    def _extend(self, design: UnrolledDesign, last_cycle: int) -> None:
+        """Grow ``design`` in place to cover cycles up to ``last_cycle``."""
+        from_reset = design.from_reset
         module = self.module
         skip_inputs = {module.clock}
 
-        for cycle in range(last_cycle + 1):
+        for cycle in range(design.last_cycle + 1, last_cycle + 1):
             # 1. Primary inputs: free variables (reset optionally forced low).
             cycle_input_bits: list[str] = []
             for name in module.input_names:
@@ -143,6 +193,10 @@ class Unroller:
 
             # 2. Registers: reset constants / free variables at cycle 0,
             #    next-state functions of the previous cycle afterwards.
+            # One blaster serves every register of the cycle so next-state
+            # expressions sharing HDL subtrees blast them once.
+            previous_blaster = (self._blaster_for_cycle(design, cycle - 1)
+                                if cycle > 0 else None)
             for name in self.synth.registers:
                 width = module.width_of(name)
                 if cycle == 0:
@@ -159,9 +213,8 @@ class Unroller:
                             bit_variable(name, bit, 0) for bit in range(width)
                         )
                 else:
-                    blaster = self._blaster_for_cycle(design, cycle - 1)
                     expr = self.synth.next_state[name]
-                    design.bits[(name, cycle)] = blaster.blast(expr, width)
+                    design.bits[(name, cycle)] = previous_blaster.blast(expr, width)
 
             # 3. Combinational signals in dependency order.
             blaster = self._blaster_for_cycle(design, cycle)
@@ -169,7 +222,7 @@ class Unroller:
                 width = module.width_of(name)
                 design.bits[(name, cycle)] = blaster.blast(self.synth.comb[name], width)
 
-        return design
+        design.last_cycle = max(design.last_cycle, last_cycle)
 
     # ------------------------------------------------------------------
     def transition_functions(self) -> dict[str, list[BoolExpr]]:

@@ -5,14 +5,19 @@
 * :mod:`repro.boolean.bitblast` — word-level HDL expressions to per-bit
   Boolean functions.
 * :mod:`repro.boolean.cnf` — clause databases and Tseitin transformation.
-* :mod:`repro.boolean.sat` — a CDCL SAT solver (watched literals, VSIDS,
-  first-UIP learning, restarts).
+* :mod:`repro.boolean.sat` — a CDCL SAT solver built for persistent reuse
+  (watched literals, VSIDS, first-UIP learning, phase saving, restarts,
+  learned-clause database reduction).
+* :mod:`repro.boolean.incremental` — a persistent CnfBuilder/SatSolver
+  pair with activation-literal queries, the substrate of the incremental
+  BMC engine.
 * :mod:`repro.boolean.bdd` — a reduced ordered BDD package with the
   operations symbolic reachability needs.
 """
 
 from repro.boolean.bdd import BDD
 from repro.boolean.cnf import CnfBuilder, Clause
+from repro.boolean.incremental import IncrementalSolver, ReuseCounters
 from repro.boolean.expr import (
     FALSE,
     TRUE,
@@ -34,6 +39,8 @@ __all__ = [
     "Clause",
     "CnfBuilder",
     "FALSE",
+    "IncrementalSolver",
+    "ReuseCounters",
     "SatResult",
     "SatSolver",
     "TRUE",

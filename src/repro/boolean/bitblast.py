@@ -65,6 +65,11 @@ class BitBlaster:
         self._signal_bits = signal_bits or (
             lambda name: signal_variables(name, width_of(name))
         )
+        #: Word-level node id -> (pinned node, bit vector).  One HDL AST
+        #: node feeding several next-state functions is blasted once per
+        #: blaster (= once per cycle when unrolling); the stored reference
+        #: keeps the id from being recycled.
+        self._memo: dict[int, tuple[Expr, list[BoolExpr]]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -73,8 +78,8 @@ class BitBlaster:
         """Return the bit vector of ``expr``; optionally resized to ``width``."""
         bits = self._blast(expr)
         if width is not None:
-            bits = _resize(bits, width)
-        return bits
+            return _resize(bits, width)
+        return list(bits)
 
     def blast_bool(self, expr: Expr) -> BoolExpr:
         """Return the truth value of ``expr`` (reduction-OR of its bits)."""
@@ -91,6 +96,14 @@ class BitBlaster:
         return _resize(bits, self._width_of(name))
 
     def _blast(self, expr: Expr) -> list[BoolExpr]:
+        memoized = self._memo.get(id(expr))
+        if memoized is not None:
+            return memoized[1]
+        bits = self._blast_node(expr)
+        self._memo[id(expr)] = (expr, bits)
+        return bits
+
+    def _blast_node(self, expr: Expr) -> list[BoolExpr]:
         if isinstance(expr, Const):
             return [TRUE if (expr.value >> bit) & 1 else FALSE for bit in range(expr.bits)]
         if isinstance(expr, Ref):

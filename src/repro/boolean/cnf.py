@@ -27,13 +27,27 @@ Clause = tuple[int, ...]
 
 @dataclass
 class CnfBuilder:
-    """Accumulates clauses and maps named variables to DIMACS indices."""
+    """Accumulates clauses and maps named variables to DIMACS indices.
+
+    A builder may live for many queries: :meth:`encode` memoizes the
+    Tseitin literal of every composite node it has seen (keyed by node
+    identity, which hash-consing makes structural), so a subexpression
+    shared across unrolling cycles or across candidate assertions is
+    encoded exactly once.  ``encode_calls``/``encode_cache_hits`` expose
+    the reuse rate to the incremental formal layer's statistics.
+    """
 
     clauses: list[Clause] = field(default_factory=list)
     _name_to_var: dict[str, int] = field(default_factory=dict)
     _var_to_name: dict[int, str] = field(default_factory=dict)
     _next_var: int = 1
-    _cache: dict[int, int] = field(default_factory=dict)
+    #: Composite node -> Tseitin output literal.  Keying by the node itself
+    #: (identity hash) pins the expression alive, so the entry can never be
+    #: confused with a recycled object id.
+    _cache: dict[BoolExpr, int] = field(default_factory=dict)
+    _true_asserted: bool = False
+    encode_calls: int = 0
+    encode_cache_hits: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -84,7 +98,7 @@ class CnfBuilder:
         if isinstance(expr, BConst):
             # Encode constants via a dedicated always-true variable.
             true_var = self.variable("__true__")
-            if not getattr(self, "_true_asserted", False):
+            if not self._true_asserted:
                 self.assert_literal(true_var)
                 self._true_asserted = True
             return true_var if expr.value else -true_var
@@ -93,9 +107,11 @@ class CnfBuilder:
         if isinstance(expr, BNot):
             return -self.encode(expr.operand)
 
-        key = id(expr)
-        if key in self._cache:
-            return self._cache[key]
+        self.encode_calls += 1
+        cached = self._cache.get(expr)
+        if cached is not None:
+            self.encode_cache_hits += 1
+            return cached
 
         if isinstance(expr, BAnd):
             literals = [self.encode(op) for op in expr.operands]
@@ -129,7 +145,7 @@ class CnfBuilder:
         else:  # pragma: no cover - exhaustive over node types
             raise TypeError(f"cannot encode expression of type {type(expr).__name__}")
 
-        self._cache[key] = output
+        self._cache[expr] = output
         return output
 
     # ------------------------------------------------------------------

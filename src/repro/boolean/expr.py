@@ -1,14 +1,26 @@
-"""Boolean expression DAG with hash-consing-free structural simplification.
+"""Hash-consed Boolean expression DAG with structural simplification.
 
 These nodes sit below the word-level HDL AST: bit-blasting produces them,
 the Tseitin encoder consumes them for SAT, and the BDD engine builds BDDs
 from them.  Constructors (`and_`, `or_`, `not_`, ...) apply cheap local
 simplifications (constant folding, involution, duplicate absorption) so the
 downstream encodings stay small.
+
+Every node built through the constructor functions is *interned*:
+structurally identical expressions are the same Python object, so equality
+and hashing are identity-based (``eq=False`` on the dataclasses) and run in
+O(1) regardless of DAG depth.  The interning is what lets a persistent
+Tseitin encoder (:class:`repro.boolean.cnf.CnfBuilder`) recognise
+subexpressions shared across unrolling cycles and across candidate
+assertions and encode each of them exactly once — the backbone of the
+incremental BMC engine.  Construct nodes through the module functions, not
+the raw class constructors: a raw node is never interned and therefore
+never compares equal to its interned twin.
 """
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -44,7 +56,7 @@ class BoolExpr:
         return xor_(self, other)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BConst(BoolExpr):
     """Boolean constant."""
 
@@ -57,7 +69,7 @@ class BConst(BoolExpr):
         return "TRUE" if self.value else "FALSE"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BVar(BoolExpr):
     """A named Boolean variable."""
 
@@ -73,7 +85,7 @@ class BVar(BoolExpr):
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BNot(BoolExpr):
     """Negation."""
 
@@ -89,7 +101,7 @@ class BNot(BoolExpr):
         return f"~{self.operand!r}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BAnd(BoolExpr):
     """N-ary conjunction."""
 
@@ -105,7 +117,7 @@ class BAnd(BoolExpr):
         return "(" + " & ".join(repr(op) for op in self.operands) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BOr(BoolExpr):
     """N-ary disjunction."""
 
@@ -121,7 +133,7 @@ class BOr(BoolExpr):
         return "(" + " | ".join(repr(op) for op in self.operands) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BXor(BoolExpr):
     """Binary exclusive-or."""
 
@@ -138,7 +150,7 @@ class BXor(BoolExpr):
         return f"({self.left!r} ^ {self.right!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BIte(BoolExpr):
     """If-then-else (multiplexer) node."""
 
@@ -161,10 +173,38 @@ class BIte(BoolExpr):
 TRUE = BConst(True)
 FALSE = BConst(False)
 
+#: Intern table: structural key -> the canonical node.  Values are weak,
+#: so a DAG no longer referenced anywhere (e.g. a finished job's unrolled
+#: design in a long-lived pool worker) is collected instead of pinned for
+#: the process lifetime.  Keys reference children by ``id``; the stored
+#: node keeps its children alive, so while an entry exists its key ids
+#: cannot be recycled — and once the node dies the entry vanishes with
+#: it, taking the now-meaningless ids along.
+_HASHCONS: "weakref.WeakValueDictionary[tuple, BoolExpr]" = weakref.WeakValueDictionary()
+
+
+def hashcons_size() -> int:
+    """Number of interned nodes (reuse diagnostics for the formal layer)."""
+    return len(_HASHCONS)
+
+
+def clear_hashcons() -> None:
+    """Drop the intern table (tests / explicit memory shedding).
+
+    Nodes already handed out stay valid, but expressions built afterwards
+    no longer share identity with them — only call this between
+    independent work units.
+    """
+    _HASHCONS.clear()
+
 
 def var(name: str) -> BVar:
     """Create (or reference) the Boolean variable ``name``."""
-    return BVar(name)
+    key = ("var", name)
+    node = _HASHCONS.get(key)
+    if node is None:
+        node = _HASHCONS[key] = BVar(name)
+    return node  # type: ignore[return-value]
 
 
 def const(value: bool) -> BConst:
@@ -177,7 +217,11 @@ def not_(operand: BoolExpr) -> BoolExpr:
         return const(not operand.value)
     if isinstance(operand, BNot):
         return operand.operand
-    return BNot(operand)
+    key = ("not", id(operand))
+    node = _HASHCONS.get(key)
+    if node is None:
+        node = _HASHCONS[key] = BNot(operand)
+    return node
 
 
 def and_(*operands: BoolExpr) -> BoolExpr:
@@ -203,7 +247,11 @@ def and_(*operands: BoolExpr) -> BoolExpr:
         return TRUE
     if len(unique) == 1:
         return unique[0]
-    return BAnd(tuple(unique))
+    key = ("and",) + tuple(id(op) for op in unique)
+    node = _HASHCONS.get(key)
+    if node is None:
+        node = _HASHCONS[key] = BAnd(tuple(unique))
+    return node
 
 
 def or_(*operands: BoolExpr) -> BoolExpr:
@@ -229,7 +277,11 @@ def or_(*operands: BoolExpr) -> BoolExpr:
         return FALSE
     if len(unique) == 1:
         return unique[0]
-    return BOr(tuple(unique))
+    key = ("or",) + tuple(id(op) for op in unique)
+    node = _HASHCONS.get(key)
+    if node is None:
+        node = _HASHCONS[key] = BOr(tuple(unique))
+    return node
 
 
 def xor_(left: BoolExpr, right: BoolExpr) -> BoolExpr:
@@ -242,7 +294,11 @@ def xor_(left: BoolExpr, right: BoolExpr) -> BoolExpr:
         return FALSE
     if left == not_(right):
         return TRUE
-    return BXor(left, right)
+    key = ("xor", id(left), id(right))
+    node = _HASHCONS.get(key)
+    if node is None:
+        node = _HASHCONS[key] = BXor(left, right)
+    return node
 
 
 def ite(cond: BoolExpr, then: BoolExpr, other: BoolExpr) -> BoolExpr:
@@ -259,7 +315,11 @@ def ite(cond: BoolExpr, then: BoolExpr, other: BoolExpr) -> BoolExpr:
     if isinstance(other, BConst):
         # ite(c, t, 1) = ~c | t ; ite(c, t, 0) = c & t
         return or_(not_(cond), then) if other.value else and_(cond, then)
-    return BIte(cond, then, other)
+    key = ("ite", id(cond), id(then), id(other))
+    node = _HASHCONS.get(key)
+    if node is None:
+        node = _HASHCONS[key] = BIte(cond, then, other)
+    return node
 
 
 def implies(antecedent: BoolExpr, consequent: BoolExpr) -> BoolExpr:

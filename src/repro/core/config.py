@@ -20,7 +20,9 @@ class GoldMineConfig:
     * ``include_internal_state`` — whether registers/internal signals are
       visible to the miner (Section 3.1's "flat single-cycle picture").
     * ``engine`` — formal back end: ``explicit`` (exact, default), ``bmc``
-      or ``bdd``.
+      (incremental SAT, one persistent solver context per design),
+      ``bmc-fresh`` (cold solver per query, the differential baseline) or
+      ``bdd``.
     * ``max_iterations`` — safety bound on counterexample iterations.
     * ``random_cycles`` / ``random_seed`` — the data generator's random
       stimulus phase (Section 2.1 simulates "a fixed number of cycles using

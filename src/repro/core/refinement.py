@@ -179,11 +179,18 @@ class CoverageClosure:
             result.true_assertions[context.label] = list(context.proven)
         result.formal_checks = self.verifier.stats.checks
         result.formal_seconds = self.verifier.stats.total_seconds
+        result.formal_reuse = dict(self.verifier.stats.reuse)
         return result
 
     # ------------------------------------------------------------------
     def _check_all(self, iteration: int, result: ClosureResult) -> IterationRecord:
-        """Mine + check candidates for every output; return the iteration record."""
+        """Mine + check candidates for every output; return the iteration record.
+
+        All unresolved candidates of one output are verified as a single
+        batch through :meth:`FormalVerifier.check_all`, so the incremental
+        BMC engine amortises its per-design encoding and learned clauses
+        over the whole candidate set instead of starting cold per check.
+        """
         record = IterationRecord(iteration=iteration)
         self._latest_counterexamples: list[Counterexample] = []
         for context in self.contexts:
@@ -191,11 +198,11 @@ class CoverageClosure:
                 context.tree.build()
             candidates = context.tree.candidate_assertions()
             proven_set = set(context.proven)
-            for index, candidate in enumerate(candidates):
-                if candidate in proven_set or candidate in context.failed:
-                    continue
+            unresolved = [(index, candidate) for index, candidate in enumerate(candidates)
+                          if candidate not in proven_set and candidate not in context.failed]
+            checks = self.verifier.check_all([candidate for _, candidate in unresolved])
+            for (index, candidate), check in zip(unresolved, checks):
                 named = candidate.with_name(f"{context.label}_i{iteration}_a{index}")
-                check = self.verifier.check(candidate)
                 record.candidates_checked += 1
                 if check.is_true:
                     context.proven.append(named)

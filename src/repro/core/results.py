@@ -85,6 +85,10 @@ class ClosureResult:
     test_suite: list[TestSequence] = field(default_factory=list)
     formal_checks: int = 0
     formal_seconds: float = 0.0
+    #: Incremental-engine reuse counters (clauses reused, learned carried,
+    #: encode cache hits) captured from the verifier; empty for engines
+    #: without a persistent solver context.
+    formal_reuse: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -145,6 +149,7 @@ class ClosureResult:
                            for sequence in self.test_suite],
             "formal_checks": self.formal_checks,
             "formal_seconds": self.formal_seconds,
+            "formal_reuse": dict(self.formal_reuse),
         }
 
     @staticmethod
@@ -162,6 +167,8 @@ class ClosureResult:
                         for sequence in data.get("test_suite", [])],
             formal_checks=data.get("formal_checks", 0),
             formal_seconds=data.get("formal_seconds", 0.0),
+            formal_reuse={str(k): int(v)
+                          for k, v in data.get("formal_reuse", {}).items()},
         )
         return result
 

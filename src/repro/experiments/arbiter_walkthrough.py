@@ -44,14 +44,16 @@ class WalkthroughResult:
 
 
 def run(window: int = 2, max_iterations: int = 16,
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> WalkthroughResult:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> WalkthroughResult:
     """Run the Section 6 walkthrough and collect its narrative data."""
     module = arbiter2()
     closure = CoverageClosure(module, outputs=["gnt0"],
                               config=GoldMineConfig(window=window,
                                                     max_iterations=max_iterations,
                                                     sim_engine=sim_engine,
-                                                    sim_lanes=sim_lanes))
+                                                    sim_lanes=sim_lanes,
+                                                    engine=formal_engine))
     closure_result = closure.run(arbiter2_directed_test())
     expression = metric_by_iteration(closure_result, arbiter2(), "expr",
                                      engine=sim_engine, lanes=sim_lanes)

@@ -62,7 +62,8 @@ class Fig12Result:
 
 
 def run(window: int = 2, max_iterations: int = 16,
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig12Result:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Fig12Result:
     """Reproduce Figure 12 on the Section 6 arbiter.
 
     ``sim_engine``/``sim_lanes`` select the simulation back end for both the
@@ -74,7 +75,8 @@ def run(window: int = 2, max_iterations: int = 16,
                               config=GoldMineConfig(window=window,
                                                     max_iterations=max_iterations,
                                                     sim_engine=sim_engine,
-                                                    sim_lanes=sim_lanes))
+                                                    sim_lanes=sim_lanes,
+                                                    engine=formal_engine))
     closure_result = closure.run(arbiter2_directed_test())
 
     measurement_module = arbiter2()

@@ -68,14 +68,16 @@ class Fig13Result:
 def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         seed_cycles: int = 4, random_seed: int = 1,
         max_iterations: int = 20,
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig13Result:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Fig13Result:
     """Run the Figure 13 study on the default design set."""
     result = Fig13Result()
     for design_name, output, group in subjects:
         meta = design_info(design_name)
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
-                                sim_engine=sim_engine, sim_lanes=sim_lanes)
+                                sim_engine=sim_engine, sim_lanes=sim_lanes,
+                                engine=formal_engine)
         closure = CoverageClosure(module, outputs=[output], config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

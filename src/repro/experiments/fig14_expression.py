@@ -71,7 +71,8 @@ class Fig14Result:
 
 def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
         random_seed: int = 3, max_iterations: int = 20,
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> Fig14Result:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Fig14Result:
     """Run the Figure 14 study."""
     result = Fig14Result()
     for design_name in subjects:
@@ -79,7 +80,8 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
         module = meta.build()
         outputs = list(meta.mining_outputs) or None
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
-                                sim_engine=sim_engine, sim_lanes=sim_lanes)
+                                sim_engine=sim_engine, sim_lanes=sim_lanes,
+                                engine=formal_engine)
         closure = CoverageClosure(module, outputs=outputs, config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

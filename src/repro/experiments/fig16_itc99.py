@@ -80,7 +80,8 @@ def run(designs: Sequence[str] | None = None,
         max_iterations: int = 16,
         max_depth: int | None = 8,
         sim_engine: str = "scalar",
-        sim_lanes: int = 64) -> Fig16Result:
+        sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Fig16Result:
     """Run the ITC'99 coverage comparison.
 
     ``sim_engine``/``sim_lanes`` select the simulation back end for both
@@ -113,7 +114,7 @@ def run(designs: Sequence[str] | None = None,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 max_depth=max_depth, sim_engine=sim_engine,
-                                sim_lanes=sim_lanes)
+                                sim_lanes=sim_lanes, engine=formal_engine)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(

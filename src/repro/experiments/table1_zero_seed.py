@@ -90,7 +90,8 @@ class Table1Result:
 
 def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         window: int | None = None, max_iterations: int = 24,
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> Table1Result:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Table1Result:
     """Run the zero-seed study: no initial patterns at all."""
     result = Table1Result()
     for design_name, output in subjects:
@@ -100,6 +101,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             window=window if window is not None else meta.window,
             max_iterations=max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes,
+            engine=formal_engine,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)
         closure_result = closure.run(None)

@@ -74,7 +74,8 @@ class Table2Result:
 
 def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
                          max_iterations: int,
-                         sim_engine: str = "scalar", sim_lanes: int = 64):
+                         sim_engine: str = "scalar", sim_lanes: int = 64,
+                         formal_engine: str = "explicit"):
     """Mine the golden design's assertion suite with the refinement loop.
 
     All outputs (including multi-bit buses, mined bit by bit) are covered so
@@ -84,7 +85,8 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
     meta = design_info(design_name)
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
-                            sim_engine=sim_engine, sim_lanes=sim_lanes)
+                            sim_engine=sim_engine, sim_lanes=sim_lanes,
+                            engine=formal_engine)
     closure = CoverageClosure(module, outputs=None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     return module, result
@@ -95,11 +97,12 @@ def run(design_name: str = "fetch",
         seed_cycles: int = 30, random_seed: int = 7,
         max_iterations: int = 16,
         mode: str = "formal",
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> Table2Result:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Table2Result:
     """Run the fault-injection regression on the fetch stage."""
     module, closure_result = mine_assertion_suite(
         design_name, seed_cycles, random_seed, max_iterations,
-        sim_engine=sim_engine, sim_lanes=sim_lanes,
+        sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
     )
     assertions = closure_result.all_true_assertions
 

@@ -62,7 +62,8 @@ class Table3Result:
 def run(modules: Sequence[str] = DEFAULT_MODULES,
         baseline_cycles: int = 1_000, baseline_seed: int = 11,
         max_iterations: int = 16,
-        sim_engine: str = "scalar", sim_lanes: int = 64) -> Table3Result:
+        sim_engine: str = "scalar", sim_lanes: int = 64,
+        formal_engine: str = "explicit") -> Table3Result:
     """Run the Rigel coverage comparison.
 
     The baseline is each module's directed test (repeated to the requested
@@ -98,7 +99,8 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         # GoldMine: counterexample-refined suite seeded with one directed pass.
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
-                                sim_engine=sim_engine, sim_lanes=sim_lanes)
+                                sim_engine=sim_engine, sim_lanes=sim_lanes,
+                                engine=formal_engine)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(directed())

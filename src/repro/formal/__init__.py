@@ -8,7 +8,11 @@ fails:
   path checking.  Exact for the small designs the paper evaluates; this is
   the default engine of the refinement loop.
 * :mod:`repro.formal.bmc` — SAT-based bounded model checking with a simple
-  inductive proof step, built on the in-house CDCL solver.
+  inductive proof step, built on the in-house CDCL solver.  Runs
+  incrementally by default: one persistent solver context per design,
+  activation-literal queries, learned clauses carried across the whole
+  candidate batch (``incremental=False`` restores the historical
+  cold-solver path, exposed as the ``bmc-fresh`` engine name).
 * :mod:`repro.formal.bdd_engine` — BDD-based symbolic reachability with
   ring-by-ring counterexample reconstruction.
 
@@ -19,7 +23,7 @@ in Section 7 of the paper.
 """
 
 from repro.formal.bmc import BmcModelChecker
-from repro.formal.checker import FormalVerifier
+from repro.formal.checker import FormalVerifier, VerifierStatistics
 from repro.formal.explicit import ExplicitModelChecker
 from repro.formal.result import CheckResult, Counterexample, FormalEngineError
 from repro.formal.statespace import StateSpace
@@ -32,4 +36,5 @@ __all__ = [
     "FormalEngineError",
     "FormalVerifier",
     "StateSpace",
+    "VerifierStatistics",
 ]

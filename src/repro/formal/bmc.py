@@ -14,6 +14,21 @@ violations start from unreachable states) and no bounded counterexample
 exists, the result is *unknown* — the caller can fall back to the exact
 explicit engine, which is what :class:`repro.formal.checker.FormalVerifier`
 does by default.
+
+Two execution modes share the same verdict semantics:
+
+* ``incremental=True`` (default): one persistent
+  :class:`~repro.boolean.incremental.IncrementalSolver` per unrolling
+  context (from-reset for the bounded search, free-initial-state for
+  induction).  The unrolled design is extended monotonically and its
+  hash-consed bit functions are Tseitin-encoded exactly once; each
+  (assertion, window) violation is guarded by a fresh activation literal,
+  solved under ``assumptions=[act]`` and retired with the unit ``¬act``,
+  so learned clauses and variable activities carry across the whole
+  candidate batch.
+* ``incremental=False``: the historical cold path — a fresh
+  ``CnfBuilder`` and ``SatSolver`` per (assertion, window-start) query —
+  kept as the differential-testing and benchmarking baseline.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ import time
 from repro.assertions.assertion import Assertion, Literal
 from repro.analysis.unroll import Unroller
 from repro.boolean.cnf import CnfBuilder
+from repro.boolean.incremental import IncrementalSolver, ReuseCounters
 from repro.boolean.sat import SatSolver
 from repro.formal.result import (
     CheckResult,
@@ -57,12 +73,39 @@ class BmcModelChecker:
 
     name = "bmc"
 
-    def __init__(self, module: Module, bound: int = 10, use_induction: bool = True):
+    def __init__(self, module: Module, bound: int = 10, use_induction: bool = True,
+                 incremental: bool = True, max_learned: int = 4000):
         self.module = module
         self.bound = bound
         self.use_induction = use_induction
+        self.incremental = incremental
+        self._max_learned = max_learned
         self._synth = synthesize(module)
-        self._unroller = Unroller(module, self._synth)
+        self._unroller = Unroller(module, self._synth, cache=incremental)
+        #: ``from_reset`` flag -> persistent solver context (incremental mode).
+        self._contexts: dict[bool, IncrementalSolver] = {}
+
+    # ------------------------------------------------------------------
+    def _context(self, from_reset: bool) -> IncrementalSolver:
+        context = self._contexts.get(from_reset)
+        if context is None:
+            context = IncrementalSolver(max_learned=self._max_learned)
+            self._contexts[from_reset] = context
+        return context
+
+    def reuse_stats(self) -> dict[str, int]:
+        """Aggregate reuse counters over both persistent contexts."""
+        merged = ReuseCounters()
+        for context in self._contexts.values():
+            merged.merge(context.counters)
+        stats = merged.to_json()
+        stats["solver_clauses"] = sum(
+            context.solver.clause_count for context in self._contexts.values())
+        stats["learned_kept"] = sum(
+            context.solver.learned_count for context in self._contexts.values())
+        stats["learned_dropped"] = sum(
+            context.solver.learned_dropped for context in self._contexts.values())
+        return stats
 
     # ------------------------------------------------------------------
     def check(self, assertion: Assertion) -> CheckResult:
@@ -82,6 +125,17 @@ class BmcModelChecker:
         elapsed = time.perf_counter() - start
         return unknown_result(assertion, self.name, elapsed, bound=depth)
 
+    def check_all(self, assertions: list[Assertion]) -> list[CheckResult]:
+        """Check a batch of candidates against one warm solver context.
+
+        In incremental mode every check after the first re-uses the
+        already-encoded unrolling, the learned clauses and the decision
+        heuristics' state, so the amortised cost per assertion drops
+        sharply — this is the entry point the refinement loop's
+        batch verification goes through.
+        """
+        return [self.check(assertion) for assertion in assertions]
+
     # ------------------------------------------------------------------
     def _bounded_search(self, assertion: Assertion, depth: int) -> Counterexample | None:
         """Look for a violation with the window starting anywhere below ``depth``."""
@@ -90,12 +144,18 @@ class BmcModelChecker:
         for window_start in range(depth - span + 2):
             shifted = _shift(assertion, window_start)
             violation = design.assertion_violation(shifted)
-            builder = CnfBuilder()
-            builder.assert_expr(violation)
-            solver = SatSolver(builder.clauses, builder.variable_count)
-            result = solver.solve()
-            if result.satisfiable:
-                model = builder.decode_model(result.model)
+            if self.incremental:
+                context = self._context(True)
+                result, activation = context.solve_query(violation)
+                context.retire(activation)
+                model = context.decode_model(result) if result.satisfiable else None
+            else:
+                builder = CnfBuilder()
+                builder.assert_expr(violation)
+                solver = SatSolver(builder.clauses, builder.variable_count)
+                result = solver.solve()
+                model = builder.decode_model(result.model) if result.satisfiable else None
+            if model is not None:
                 vectors = design.model_to_vectors(model)
                 needed = window_start + span
                 return Counterexample(
@@ -114,6 +174,11 @@ class BmcModelChecker:
         if (assertion.consequent.signal, assertion.consequent.cycle) not in design.bits:
             design = self._unroller.unroll(assertion.consequent.cycle, from_reset=False)
         violation = design.assertion_violation(assertion)
+        if self.incremental:
+            context = self._context(False)
+            result, activation = context.solve_query(violation)
+            context.retire(activation)
+            return not result.satisfiable
         builder = CnfBuilder()
         builder.assert_expr(violation)
         solver = SatSolver(builder.clauses, builder.variable_count)

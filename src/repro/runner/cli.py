@@ -65,6 +65,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes (default 1 = serial)")
     run.add_argument("--engine", choices=("scalar", "batched"), default="scalar",
                      help="simulation engine threaded through the pipeline")
+    run.add_argument("--formal-engine", dest="formal_engine",
+                     choices=("explicit", "bmc", "bmc-fresh", "bdd"),
+                     default="explicit",
+                     help="formal back end for candidate verification "
+                          "(bmc = incremental SAT with a persistent solver "
+                          "context; bmc-fresh = cold solver per query)")
     run.add_argument("--lanes", type=int, default=64,
                      help="lanes per batched-simulation pass (default 64)")
     run.add_argument("--smoke", action="store_true",
@@ -110,7 +116,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
 
     options = RunOptions(
-        engine=args.engine, lanes=args.lanes, smoke=args.smoke,
+        engine=args.engine, lanes=args.lanes, formal_engine=args.formal_engine,
+        smoke=args.smoke,
         designs=args.designs, seeds=args.seeds, seed_cycles=args.seed_cycles,
         max_iterations=args.max_iterations,
     )

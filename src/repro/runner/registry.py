@@ -56,14 +56,18 @@ class RunOptions:
     """User-facing knobs shared by every experiment (the CLI flags).
 
     ``engine``/``lanes`` select the simulation back end threaded through
-    every driver (see ``GoldMineConfig.sim_engine``); ``smoke`` shrinks
-    workloads to seconds for CI and doc checks; ``designs``/``seeds``
-    restrict or parameterize the job matrix where an experiment iterates
-    over designs; ``max_iterations`` overrides the refinement budget.
+    every driver (see ``GoldMineConfig.sim_engine``); ``formal_engine``
+    selects the formal back end the refinement loop verifies candidates
+    with (``explicit``, ``bmc`` — the incremental SAT path, ``bmc-fresh``,
+    ``bdd``); ``smoke`` shrinks workloads to seconds for CI and doc
+    checks; ``designs``/``seeds`` restrict or parameterize the job matrix
+    where an experiment iterates over designs; ``max_iterations``
+    overrides the refinement budget.
     """
 
     engine: str = "scalar"
     lanes: int = 64
+    formal_engine: str = "explicit"
     smoke: bool = False
     designs: tuple[str, ...] | None = None
     seeds: tuple[int, ...] = (0,)
@@ -81,6 +85,7 @@ class RunOptions:
         return {
             "engine": self.engine,
             "lanes": self.lanes,
+            "formal_engine": self.formal_engine,
             "smoke": self.smoke,
             "designs": list(self.designs) if self.designs is not None else None,
             "seeds": list(self.seeds),

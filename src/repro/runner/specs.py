@@ -27,7 +27,8 @@ def _iterations(options: RunOptions, full: int, smoke: int) -> int:
 
 
 def _engine_params(options: RunOptions) -> dict:
-    return {"sim_engine": options.engine, "sim_lanes": options.lanes}
+    return {"sim_engine": options.engine, "sim_lanes": options.lanes,
+            "formal_engine": options.formal_engine}
 
 
 def _reject_designs(options: RunOptions, experiment: str, fixed: str) -> None:
@@ -393,7 +394,8 @@ def _sweep_execute(params: Mapping) -> tuple[dict, int]:
     config = GoldMineConfig(window=meta.window,
                             max_iterations=params["max_iterations"],
                             sim_engine=params["sim_engine"],
-                            sim_lanes=params["sim_lanes"])
+                            sim_lanes=params["sim_lanes"],
+                            engine=params.get("formal_engine", "explicit"))
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                               config=config)
     seed_cycles = params["seed_cycles"]

@@ -1,0 +1,195 @@
+"""Tests for the persistent SAT solver and the incremental CNF context.
+
+Covers the guarantees the incremental BMC engine leans on: mid-life
+clause addition, assumption-based solving, learned-clause database
+reduction staying within its cap on conflict-heavy instances, phase
+saving, and the hash-consing + persistent-encoder layer underneath.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.boolean.cnf import CnfBuilder
+from repro.boolean.expr import and_, hashcons_size, not_, or_, var, xor_
+from repro.boolean.incremental import IncrementalSolver
+from repro.boolean.sat import SatSolver
+
+
+def brute_force_satisfiable(clauses, variable_count):
+    for bits in itertools.product([False, True], repeat=variable_count):
+        if all(any((literal > 0) == bits[abs(literal) - 1] for literal in clause)
+               for clause in clauses):
+            return True
+    return False
+
+
+def pigeonhole_clauses(pigeons, holes):
+    """PHP(pigeons, holes): UNSAT when pigeons > holes, conflict-heavy."""
+
+    def variable(pigeon, hole):
+        return pigeon * holes + hole + 1
+
+    clauses = []
+    for pigeon in range(pigeons):
+        clauses.append(tuple(variable(pigeon, hole) for hole in range(holes)))
+    for hole in range(holes):
+        for first, second in itertools.combinations(range(pigeons), 2):
+            clauses.append((-variable(first, hole), -variable(second, hole)))
+    return clauses, pigeons * holes
+
+
+class TestPersistentSolver:
+    def test_mid_life_clause_addition(self):
+        solver = SatSolver([(1, 2), (-1, 3)])
+        assert solver.solve().satisfiable
+        solver.add_clause((-3,))
+        solver.add_clause((-2,))
+        assert not solver.solve().satisfiable
+
+    def test_assumptions_do_not_stick(self):
+        solver = SatSolver([(1, 2)])
+        assert not solver.solve(assumptions=[-1, -2]).satisfiable
+        assert solver.solve(assumptions=[-1]).satisfiable
+        assert solver.solve().satisfiable
+
+    def test_learned_unit_survives_across_solves(self):
+        # (1) ∧ (-1 ∨ 2): propagation forces 2; adding (-2) later must flip
+        # the verdict even though the first solve assigned everything.
+        solver = SatSolver([(1,), (-1, 2)])
+        assert solver.solve().satisfiable
+        solver.add_clause((-2,))
+        assert not solver.solve().satisfiable
+
+    def test_incremental_differential_against_brute_force(self):
+        rng = random.Random(99)
+        for _ in range(40):
+            variable_count = rng.randint(3, 7)
+            solver = SatSolver(variable_count=variable_count, max_learned=32)
+            accumulated = []
+            for _ in range(5):
+                for _ in range(rng.randint(1, 5)):
+                    clause = tuple(rng.choice([1, -1]) * rng.randint(1, variable_count)
+                                   for _ in range(rng.randint(1, 3)))
+                    accumulated.append(clause)
+                    solver.add_clause(clause)
+                expected = brute_force_satisfiable(accumulated, variable_count)
+                assert solver.solve().satisfiable == expected
+            assumptions = [rng.choice([1, -1]) * v
+                           for v in rng.sample(range(1, variable_count + 1), k=2)]
+            expected = brute_force_satisfiable(
+                accumulated + [(lit,) for lit in assumptions], variable_count)
+            assert solver.solve(assumptions=assumptions).satisfiable == expected
+
+    def test_phase_saving_recorded(self):
+        solver = SatSolver([(1, 2), (-1, 2), (1, -2)])
+        result = solver.solve()
+        assert result.satisfiable
+        assert solver._saved_phase  # phases were recorded on unwind
+
+    def test_restart_after_unit_learning_backjump(self):
+        # Regression: when the conflict crossing the restart threshold
+        # learns a unit clause, the backjump already unwinds the trail to
+        # the assumption level; the restart that follows must not index
+        # past _trail_limits.  (n=30 random 3-SAT at ratio 4.4, seed 41
+        # crashed with IndexError before the guard.)
+        rng = random.Random(41)
+        clauses = [tuple(rng.choice([1, -1]) * v
+                         for v in rng.sample(range(1, 31), 3))
+                   for _ in range(132)]
+        solver = SatSolver(clauses, 30, max_learned=64)
+        result = solver.solve()
+        assert solver.restarts >= 1
+        if result.satisfiable:
+            model = result.model
+            assert all(any((lit > 0) == model.get(abs(lit), False) for lit in c)
+                       for c in clauses)
+
+    def test_luby_sequence(self):
+        # The seed's implementation span forever for every index >= 1,
+        # freezing any solve that reached its first restart.
+        sequence = [SatSolver._luby(index) for index in range(15)]
+        assert sequence == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_learned_database_stays_bounded(self):
+        clauses, variable_count = pigeonhole_clauses(7, 6)
+        solver = SatSolver(clauses, variable_count, max_learned=64)
+        result = solver.solve()
+        assert not result.satisfiable
+        assert result.conflicts > 64  # genuinely conflict-heavy
+        assert solver.db_reductions >= 1
+        assert solver.learned_dropped > 0
+        assert solver.learned_count <= 64
+
+    def test_reduction_does_not_change_verdicts(self):
+        clauses, variable_count = pigeonhole_clauses(6, 5)
+        capped = SatSolver(clauses, variable_count, max_learned=32).solve()
+        uncapped = SatSolver(clauses, variable_count, max_learned=100000).solve()
+        assert capped.satisfiable == uncapped.satisfiable == False  # noqa: E712
+
+    def test_empty_clause_is_unsat(self):
+        solver = SatSolver([(1, 2)])
+        solver.add_clause(())
+        assert not solver.solve().satisfiable
+
+
+class TestHashConsing:
+    def test_structurally_equal_expressions_are_identical(self):
+        first = and_(var("a"), or_(var("b"), not_(var("c"))))
+        second = and_(var("a"), or_(var("b"), not_(var("c"))))
+        assert first is second
+        assert xor_(var("a"), var("b")) is xor_(var("a"), var("b"))
+        assert hashcons_size() > 0
+
+    def test_persistent_builder_encodes_shared_nodes_once(self):
+        builder = CnfBuilder()
+        shared = and_(var("x"), var("y"))
+        builder.encode(or_(shared, var("z")))
+        clauses_before = len(builder.clauses)
+        hits_before = builder.encode_cache_hits
+        builder.encode(or_(shared, var("w")))
+        assert builder.encode_cache_hits > hits_before
+        # The shared AND contributed no new clauses the second time.
+        assert len(builder.clauses) < 2 * clauses_before
+
+
+class TestIncrementalSolverContext:
+    def test_guarded_queries_are_independent(self):
+        context = IncrementalSolver()
+        x, y = var("x"), var("y")
+        result, activation = context.solve_query(and_(x, not_(x)))
+        context.retire(activation)
+        assert not result.satisfiable
+        result, activation = context.solve_query(and_(x, y))
+        context.retire(activation)
+        assert result.satisfiable
+        model = context.decode_model(result)
+        assert model["x"] is True and model["y"] is True
+        # A retired unsatisfiable query must not poison later ones.
+        result, activation = context.solve_query(x)
+        context.retire(activation)
+        assert result.satisfiable
+
+    def test_permanent_assertions_constrain_queries(self):
+        context = IncrementalSolver()
+        x = var("x")
+        context.assert_expr(not_(x))
+        result, activation = context.solve_query(x)
+        context.retire(activation)
+        assert not result.satisfiable
+
+    def test_counters_accumulate(self):
+        context = IncrementalSolver()
+        # or_ keeps the shared AND intact as a child (and_ would flatten
+        # it away), so the encoder can hit its memo on the later queries.
+        shared = and_(var("p"), var("q"))
+        for extra in ("r", "s", "t"):
+            result, activation = context.solve_query(or_(shared, var(extra)))
+            context.retire(activation)
+            assert result.satisfiable
+        assert context.counters.queries == 3
+        assert context.counters.encode_cache_hits >= 2
+        assert context.counters.clauses_reused > 0
+        payload = context.counters.to_json()
+        assert payload["queries"] == 3

@@ -85,10 +85,13 @@ class TestKnownVerdicts:
     def test_bdd_engine(self, arbiter2_module, assertion, expected):
         assert BddModelChecker(arbiter2_module).check(assertion).verdict is expected
 
+    @pytest.mark.parametrize("incremental", [True, False],
+                             ids=["incremental", "fresh"])
     @pytest.mark.parametrize("assertion,expected", KNOWN,
                              ids=[a.name for a, _ in KNOWN])
-    def test_bmc_engine(self, arbiter2_module, assertion, expected):
-        verdict = BmcModelChecker(arbiter2_module, bound=6).check(assertion).verdict
+    def test_bmc_engine(self, arbiter2_module, assertion, expected, incremental):
+        engine = BmcModelChecker(arbiter2_module, bound=6, incremental=incremental)
+        verdict = engine.check(assertion).verdict
         if verdict is Verdict.UNKNOWN:
             pytest.skip("induction inconclusive (allowed for the bounded engine)")
         assert verdict is expected
@@ -106,8 +109,9 @@ class TestCounterexamples:
     @pytest.mark.parametrize("engine_factory", [
         ExplicitModelChecker,
         lambda m: BmcModelChecker(m, bound=6),
+        lambda m: BmcModelChecker(m, bound=6, incremental=False),
         BddModelChecker,
-    ], ids=["explicit", "bmc", "bdd"])
+    ], ids=["explicit", "bmc", "bmc-fresh", "bdd"])
     def test_counterexamples_reproduce_violation(self, arbiter2_module, engine_factory):
         engine = engine_factory(arbiter2_module)
         for assertion in (A0_FALSE, A1_FALSE, A4_FALSE):

@@ -1,0 +1,161 @@
+"""Differential suite: incremental vs fresh-solver bounded model checking.
+
+The incremental BMC engine (one persistent solver context per design,
+activation-literal queries) must be observationally equivalent to the
+historical cold-solver path: identical verdicts and identical
+counterexample windows on every query, with counterexamples that replay
+to a real violation.  These tests randomise assertions over the bundled
+designs and hold the two paths to that contract, and also cover the
+batch path through :class:`FormalVerifier` and the refinement loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.assertions.assertion import Assertion, Literal, Verdict
+from repro.core.config import GoldMineConfig
+from repro.core.refinement import CoverageClosure
+from repro.formal.bmc import BmcModelChecker
+from repro.formal.checker import FormalVerifier
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import RandomStimulus
+
+
+def random_assertions(module, count, seed=11):
+    """Window-1/2 candidate assertions like the miner would produce."""
+    rng = random.Random(seed)
+    single_bit = [name for name in module.data_input_names + module.state_names
+                  if module.width_of(name) == 1]
+    outputs = [name for name in module.output_names if module.width_of(name) == 1]
+    registers = set(module.state_names)
+    assertions = []
+    while len(assertions) < count:
+        window = rng.choice([1, 2])
+        antecedent = tuple(
+            Literal(name, rng.randint(0, 1), rng.randrange(window))
+            for name in rng.sample(single_bit, k=min(2, len(single_bit)))
+        )
+        output = rng.choice(outputs)
+        cycle = window if output in registers else window - 1
+        assertions.append(
+            Assertion(antecedent, Literal(output, rng.randint(0, 1), cycle), window))
+    return assertions
+
+
+def replay_violates(module, assertion, counterexample):
+    simulator = Simulator(module)
+    trace = simulator.run_vectors([dict(v) for v in counterexample.input_vectors])
+    span = assertion.consequent.cycle + 1
+    start = counterexample.window_start
+    valuations = {offset: trace.cycle(start + offset) for offset in range(span)}
+    return not assertion.holds(valuations)
+
+
+class TestIncrementalVsFresh:
+    @pytest.mark.parametrize("fixture", ["arbiter2_module", "counter_module",
+                                         "handshake_module", "b01_module"])
+    def test_verdicts_and_windows_identical(self, fixture, request):
+        module = request.getfixturevalue(fixture)
+        assertions = random_assertions(module, 12, seed=23)
+        fresh = BmcModelChecker(module, bound=6, incremental=False)
+        incremental = BmcModelChecker(module, bound=6, incremental=True)
+        for assertion in assertions:
+            expected = fresh.check(assertion)
+            got = incremental.check(assertion)
+            assert got.verdict is expected.verdict
+            if expected.counterexample is not None:
+                assert (got.counterexample.window_start
+                        == expected.counterexample.window_start)
+                assert replay_violates(module, assertion, got.counterexample)
+
+    def test_check_order_does_not_change_verdicts(self, arbiter2_module):
+        """The persistent context is query-order independent: clauses from
+        retired queries can never leak into later verdicts."""
+        assertions = random_assertions(arbiter2_module, 10, seed=5)
+        forward = BmcModelChecker(arbiter2_module, bound=6).check_all(assertions)
+        backward = BmcModelChecker(arbiter2_module, bound=6).check_all(assertions[::-1])
+        for result, reverse in zip(forward, backward[::-1]):
+            assert result.verdict is reverse.verdict
+
+    def test_batch_equals_individual_checks(self, b01_module):
+        assertions = random_assertions(b01_module, 8, seed=3)
+        batch = BmcModelChecker(b01_module, bound=5).check_all(assertions)
+        singles = [BmcModelChecker(b01_module, bound=5).check(a) for a in assertions]
+        for batched, single in zip(batch, singles):
+            assert batched.verdict is single.verdict
+
+    def test_reuse_counters_grow_with_the_batch(self, arbiter2_module):
+        engine = BmcModelChecker(arbiter2_module, bound=6)
+        engine.check_all(random_assertions(arbiter2_module, 6, seed=9))
+        stats = engine.reuse_stats()
+        assert stats["queries"] >= 6
+        assert stats["clauses_reused"] > 0
+        assert stats["encode_cache_hits"] > 0
+
+
+class TestVerifierBatchPath:
+    def test_bmc_fresh_engine_selectable(self, arbiter2_module):
+        verifier = FormalVerifier(arbiter2_module, engine="bmc-fresh", bound=6)
+        assertions = random_assertions(arbiter2_module, 4, seed=2)
+        reference = FormalVerifier(arbiter2_module, engine="bmc", bound=6)
+        for assertion in assertions:
+            assert (verifier.check(assertion).verdict
+                    is reference.check(assertion).verdict)
+
+    def test_check_all_caches_like_sequential_checks(self, arbiter2_module):
+        assertions = random_assertions(arbiter2_module, 5, seed=4)
+        batch_verifier = FormalVerifier(arbiter2_module, engine="bmc", bound=6)
+        batch = batch_verifier.check_all(assertions + assertions)
+        assert batch_verifier.stats.checks == len(assertions)
+        assert batch_verifier.stats.cache_hits == len(assertions)
+        again = batch_verifier.check_all(assertions)
+        assert batch_verifier.stats.checks == len(assertions)
+        assert [r.verdict for r in again] == [r.verdict for r in batch[:len(assertions)]]
+
+    def test_reuse_statistics_surface_in_verifier(self, arbiter2_module):
+        verifier = FormalVerifier(arbiter2_module, engine="bmc", bound=6)
+        verifier.check_all(random_assertions(arbiter2_module, 5, seed=6))
+        assert verifier.stats.reuse["queries"] > 0
+        payload = verifier.stats.to_json()
+        assert payload["reuse"]["clauses_reused"] > 0
+
+    def test_cross_check_incremental_against_explicit(self, arbiter2_module):
+        verifier = FormalVerifier(arbiter2_module, engine="bmc", bound=6,
+                                  cross_check_engine="explicit")
+        for result in verifier.check_all(random_assertions(arbiter2_module, 6, seed=8)):
+            assert result.verdict in (Verdict.TRUE, Verdict.FALSE, Verdict.UNKNOWN)
+
+
+class TestClosureWithIncrementalEngine:
+    def test_refinement_converges_and_stays_sound(self, arbiter2_module):
+        """Both BMC paths close the loop, and everything the incremental
+        path proves is confirmed by the exact explicit engine.
+
+        The closed-loop *trajectories* may legitimately differ: a refuted
+        candidate's counterexample is whatever model the solver returns,
+        and different (equally correct) witnesses steer the miner to
+        different — but always true — final assertions.
+        """
+        explicit = FormalVerifier(arbiter2_module, engine="explicit")
+        for engine in ("bmc", "bmc-fresh"):
+            config = GoldMineConfig(window=2, engine=engine,
+                                    random_cycles=20, random_seed=3)
+            closure = CoverageClosure(arbiter2_module, config=config)
+            result = closure.run(RandomStimulus(20, seed=3), max_iterations=6)
+            assert result.converged
+            for assertion in result.all_true_assertions:
+                assert explicit.check(assertion).verdict is Verdict.TRUE
+            if engine == "bmc":
+                assert result.formal_reuse["queries"] > 0
+
+    def test_formal_reuse_round_trips_through_json(self, arbiter2_module):
+        from repro.core.results import ClosureResult
+
+        config = GoldMineConfig(window=2, engine="bmc", random_cycles=10, random_seed=1)
+        closure = CoverageClosure(arbiter2_module, config=config)
+        result = closure.run(RandomStimulus(10, seed=1), max_iterations=3)
+        restored = ClosureResult.from_json(result.to_json())
+        assert restored.formal_reuse == result.formal_reuse
