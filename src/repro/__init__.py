@@ -22,7 +22,9 @@ The main entry points are:
   the scalar interpreter (``engine="scalar"``) or the bit-parallel
   batched engine (``engine="batched"``), both behind
   :class:`repro.sim.SimulatorBase`.
-* :class:`repro.core.GoldMine` — a single assertion-mining pass.
+* :class:`repro.core.GoldMine` — a single assertion-mining pass; the
+  A-Miner itself runs row-wise or columnar/bit-parallel
+  (``GoldMineConfig(mine_engine=...)``, :mod:`repro.mining`).
 * :class:`repro.core.CoverageClosure` — the paper's counterexample-guided
   refinement loop producing assertions + validation stimulus
   (serializable via :meth:`repro.core.ClosureResult.to_json`).
@@ -48,6 +50,7 @@ from repro.core import (
 from repro.coverage import CoverageReport, CoverageRunner, measure_coverage
 from repro.formal import FormalVerifier
 from repro.hdl import Module, parse_module, parse_modules
+from repro.mining import MINE_ENGINES
 from repro.sim import (
     SIM_ENGINES,
     BatchedSimulator,
@@ -60,7 +63,7 @@ from repro.sim import (
     create_simulator,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Assertion",
@@ -75,6 +78,7 @@ __all__ = [
     "GoldMineConfig",
     "IterationRecord",
     "Literal",
+    "MINE_ENGINES",
     "Module",
     "RandomStimulus",
     "ReplayStimulus",

@@ -34,6 +34,14 @@ class GoldMineConfig:
       random-cycle budget across lanes (many short from-reset runs
       instead of one long one), which both speeds up data generation by
       orders of magnitude and diversifies the mining dataset.
+    * ``mine_engine`` — A-Miner back end: ``rowwise`` (per-row feature
+      dicts, the differential baseline) or ``columnar`` (big-int bitset
+      columns with popcount split gains, :mod:`repro.mining.columnar`).
+      Both engines produce node-for-node identical decision trees and
+      identical candidate assertions; the columnar engine is just much
+      faster.  In a :meth:`~repro.core.goldmine.GoldMine.mine` pass with
+      ``sim_engine="batched"``, the random data-generator additionally
+      hands the columnar miner its lane-packed words zero-copy.
     """
 
     window: int = 1
@@ -49,6 +57,7 @@ class GoldMineConfig:
     max_input_combinations: int = 4_096
     sim_engine: str = "scalar"
     sim_lanes: int = 64
+    mine_engine: str = "rowwise"
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -65,6 +74,12 @@ class GoldMineConfig:
             )
         if self.sim_lanes < 1:
             raise ValueError("sim_lanes must be at least 1")
+        from repro.mining import MINE_ENGINES
+
+        if self.mine_engine not in MINE_ENGINES:
+            raise ValueError(
+                f"mine_engine must be one of {MINE_ENGINES}, got '{self.mine_engine}'"
+            )
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict:

@@ -28,8 +28,7 @@ from repro.formal.checker import FormalVerifier
 from repro.formal.result import CheckResult
 from repro.hdl.module import Module
 from repro.hdl.synth import SynthesizedModule, synthesize
-from repro.mining.dataset import MiningDataset
-from repro.mining.decision_tree import DecisionTree
+from repro.mining import create_dataset, create_decision_tree
 from repro.sim.simulator import Simulator
 from repro.sim.stimulus import RandomStimulus, Stimulus
 from repro.sim.trace import Trace
@@ -96,17 +95,47 @@ class GoldMine:
             return [self.generate_data(stimulus)]
         from repro.sim.batched import random_batch_traces
 
-        cycles = self.config.random_cycles or 64
-        # A lane shorter than window+1 cycles contributes no mining rows;
-        # beyond that, keep lanes * per_lane within the configured cycle
-        # budget so engine choice does not change the amount of data.
-        min_lane_cycles = self.config.window + 1
-        lanes = max(1, min(self.config.sim_lanes, cycles // min_lane_cycles))
-        per_lane = max(min_lane_cycles, cycles // lanes)
+        per_lane, lanes = self._batch_shape()
         return random_batch_traces(
             self.module, per_lane, lanes=lanes,
             seed=self.config.random_seed, bias=self.config.input_bias,
         )
+
+    def _batch_shape(self) -> tuple[int, int]:
+        """(cycles per lane, lanes) for the batched data generator.
+
+        A lane shorter than window+1 cycles contributes no mining rows;
+        beyond that, keep lanes * per_lane within the configured cycle
+        budget so engine choice does not change the amount of data.
+        """
+        cycles = self.config.random_cycles or 64
+        min_lane_cycles = self.config.window + 1
+        lanes = max(1, min(self.config.sim_lanes, cycles // min_lane_cycles))
+        per_lane = max(min_lane_cycles, cycles // lanes)
+        return per_lane, lanes
+
+    def generate_mining_data(self, stimulus: Stimulus | None = None):
+        """Data-generator phase in whatever form the miner consumes best.
+
+        Returns a list of traces — except when both the batched simulator
+        and the columnar miner are selected, where it returns the
+        :class:`~repro.sim.batched.LaneWordBlock` of lane-packed words so
+        trace -> dataset -> tree never widens to per-row Python objects.
+        The block holds exactly the data :meth:`generate_traces` would
+        return (same RNG stream), so the engine choice never changes what
+        gets mined.
+        """
+        if (stimulus is None and self.config.sim_engine == "batched"
+                and self.config.mine_engine == "columnar"):
+            from repro.sim.batched import random_batch_block
+
+            per_lane, lanes = self._batch_shape()
+            return random_batch_block(
+                self.module, per_lane, lanes=lanes,
+                seed=self.config.random_seed, bias=self.config.input_bias,
+                synth=self.synth,
+            )
+        return self.generate_traces(stimulus)
 
     # ------------------------------------------------------------------
     # target enumeration
@@ -130,22 +159,35 @@ class GoldMine:
     # ------------------------------------------------------------------
     # mining
     # ------------------------------------------------------------------
-    def build_dataset(self, output: str, bit: int | None = None) -> MiningDataset:
-        return MiningDataset(
+    def build_dataset(self, output: str, bit: int | None = None):
+        """A mining dataset on the configured ``mine_engine``."""
+        return create_dataset(
             self.module,
             output,
+            engine=self.config.mine_engine,
             window=self.config.window,
             output_bit=bit,
             include_internal_state=self.config.include_internal_state,
             synth=self.synth,
         )
 
-    def mine_output(self, output: str, traces: Iterable[Trace],
+    def mine_output(self, output: str, data,
                     bit: int | None = None) -> MiningSummary:
-        """Run A-Miner + formal verification for one output bit."""
+        """Run A-Miner + formal verification for one output bit.
+
+        ``data`` is an iterable of traces, or a
+        :class:`~repro.sim.batched.LaneWordBlock` of lane-packed words
+        (the zero-copy hand-off from the batched data generator, folded
+        in directly by the columnar dataset).
+        """
         dataset = self.build_dataset(output, bit)
-        dataset.add_traces(traces)
-        tree = DecisionTree(dataset, max_depth=self.config.max_depth)
+        from repro.sim.batched import LaneWordBlock
+
+        if isinstance(data, LaneWordBlock):
+            dataset.add_lane_block(data)
+        else:
+            dataset.add_traces(data)
+        tree = create_decision_tree(dataset, max_depth=self.config.max_depth)
         tree.build()
         candidates = tree.candidate_assertions()
         summary = MiningSummary(self.module.name, self.target_label(output, bit),
@@ -164,15 +206,16 @@ class GoldMine:
         """Mine assertions for every requested output from the given traces.
 
         When ``traces`` is omitted, the data generator produces random
-        traces first on the configured simulation engine (``stimulus``
-        overrides the random default).
+        data first on the configured simulation engine (``stimulus``
+        overrides the random default); with the batched simulator and the
+        columnar miner the data stays lane-packed end to end.
         """
         if traces is None:
-            traces = self.generate_traces(stimulus)
+            data = self.generate_mining_data(stimulus)
         else:
-            traces = list(traces)
+            data = list(traces)
         report = MiningReport(self.module.name)
         for output, bit in self.target_outputs(outputs):
             label = self.target_label(output, bit)
-            report.summaries[label] = self.mine_output(output, traces, bit)
+            report.summaries[label] = self.mine_output(output, data, bit)
         return report

@@ -31,7 +31,7 @@ from repro.core.goldmine import GoldMine
 from repro.core.results import ClosureResult, IterationRecord, TestSequence
 from repro.formal.result import Counterexample
 from repro.hdl.module import Module
-from repro.mining.incremental_tree import IncrementalDecisionTree
+from repro.mining import create_decision_tree
 from repro.sim.simulator import Simulator
 from repro.sim.stimulus import Stimulus
 from repro.sim.trace import Trace
@@ -39,12 +39,19 @@ from repro.sim.trace import Trace
 
 @dataclass
 class OutputContext:
-    """Per-output mining state carried across iterations."""
+    """Per-output mining state carried across iterations.
+
+    ``tree`` is the configured engine's incremental decision tree —
+    :class:`~repro.mining.incremental_tree.IncrementalDecisionTree`
+    (row-wise) or
+    :class:`~repro.mining.columnar.ColumnarIncrementalDecisionTree`;
+    both share the surface the loop drives.
+    """
 
     output: str
     bit: int | None
     label: str
-    tree: IncrementalDecisionTree
+    tree: object
     proven: list[Assertion] = field(default_factory=list)
     failed: set[Assertion] = field(default_factory=set)
 
@@ -90,7 +97,8 @@ class CoverageClosure:
         self.contexts: list[OutputContext] = []
         for output, bit in self.engine.target_outputs(outputs):
             dataset = self.engine.build_dataset(output, bit)
-            tree = IncrementalDecisionTree(dataset, max_depth=self.config.max_depth)
+            tree = create_decision_tree(dataset, max_depth=self.config.max_depth,
+                                        incremental=True)
             self.contexts.append(
                 OutputContext(output, bit, self.engine.target_label(output, bit), tree)
             )
@@ -268,5 +276,6 @@ class CoverageClosure:
                 return context
         raise KeyError(f"no mining context for output '{label}'")
 
-    def final_tree(self, label: str) -> IncrementalDecisionTree:
+    def final_tree(self, label: str):
+        """The configured engine's incremental tree for one output."""
         return self.context_for(label).tree

@@ -53,13 +53,14 @@ class EngineComparison:
 def _collect_assertions(design_name: str, seed_cycles: int, random_seed: int,
                         max_iterations: int, include_failed: bool = True,
                         sim_engine: str = "scalar", sim_lanes: int = 64,
-                        formal_engine: str = "explicit") -> tuple:
+                        formal_engine: str = "explicit",
+                        mine_engine: str = "rowwise") -> tuple:
     """Mine a mixed set of true and (historically) failed assertions."""
     meta = design_info(design_name)
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine)
+                            engine=formal_engine, mine_engine=mine_engine)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     assertions: list[Assertion] = list(result.all_true_assertions)
@@ -74,13 +75,15 @@ def run(designs: Sequence[str] = ("arbiter2", "arbiter4", "b01"),
         max_iterations: int = 16, bmc_bound: int = 8,
         max_assertions_per_design: int = 40,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> list[EngineComparison]:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> list[EngineComparison]:
     """Cross-check the three engines over mined assertion suites."""
     comparisons: list[EngineComparison] = []
     for design_name in designs:
         module, assertions = _collect_assertions(
             design_name, seed_cycles, random_seed, max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+            mine_engine=mine_engine,
         )
         assertions = assertions[:max_assertions_per_design]
         engines = {

@@ -50,12 +50,13 @@ class AblationResult:
 def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                  random_seed: int, max_iterations: int,
                  sim_engine: str = "scalar", sim_lanes: int = 64,
-                 formal_engine: str = "explicit") -> tuple[VariantOutcome, set]:
+                 formal_engine: str = "explicit",
+                 mine_engine: str = "rowwise") -> tuple[VariantOutcome, set]:
     meta = design_info(design_name)
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine)
+                            engine=formal_engine, mine_engine=mine_engine)
     closure = CoverageClosure(module, outputs=[output], config=config,
                               rebuild_trees=rebuild)
     start = time.perf_counter()
@@ -78,16 +79,19 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         seed_cycles: int = 12, random_seed: int = 5,
         max_iterations: int = 24,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> AblationResult:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> AblationResult:
     """Run both variants and collect the comparison."""
     incremental, incremental_set = _run_variant(
         design_name, output, rebuild=False, seed_cycles=seed_cycles,
         random_seed=random_seed, max_iterations=max_iterations,
-        sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine)
+        sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        mine_engine=mine_engine)
     rebuilt, rebuilt_set = _run_variant(
         design_name, output, rebuild=True, seed_cycles=seed_cycles,
         random_seed=random_seed, max_iterations=max_iterations,
-        sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine)
+        sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        mine_engine=mine_engine)
     result = AblationResult(design=design_name, output=output,
                             incremental=incremental, rebuilt=rebuilt)
     result.shared_assertions = len(incremental_set & rebuilt_set)

@@ -45,7 +45,8 @@ class WalkthroughResult:
 
 def run(window: int = 2, max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> WalkthroughResult:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> WalkthroughResult:
     """Run the Section 6 walkthrough and collect its narrative data."""
     module = arbiter2()
     closure = CoverageClosure(module, outputs=["gnt0"],
@@ -53,7 +54,8 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     max_iterations=max_iterations,
                                                     sim_engine=sim_engine,
                                                     sim_lanes=sim_lanes,
-                                                    engine=formal_engine))
+                                                    engine=formal_engine,
+                                                    mine_engine=mine_engine))
     closure_result = closure.run(arbiter2_directed_test())
     expression = metric_by_iteration(closure_result, arbiter2(), "expr",
                                      engine=sim_engine, lanes=sim_lanes)

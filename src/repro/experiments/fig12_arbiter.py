@@ -63,12 +63,14 @@ class Fig12Result:
 
 def run(window: int = 2, max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Fig12Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Fig12Result:
     """Reproduce Figure 12 on the Section 6 arbiter.
 
     ``sim_engine``/``sim_lanes`` select the simulation back end for both the
-    closure loop's counterexample replay and the coverage measurement; the
-    result is identical, the batched engine is just faster.
+    closure loop's counterexample replay and the coverage measurement, and
+    ``mine_engine`` the A-Miner back end; the result is identical, the
+    batched/columnar engines are just faster.
     """
     module = arbiter2()
     closure = CoverageClosure(module, outputs=["gnt0"],
@@ -76,7 +78,8 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     max_iterations=max_iterations,
                                                     sim_engine=sim_engine,
                                                     sim_lanes=sim_lanes,
-                                                    engine=formal_engine))
+                                                    engine=formal_engine,
+                                                    mine_engine=mine_engine))
     closure_result = closure.run(arbiter2_directed_test())
 
     measurement_module = arbiter2()

@@ -69,7 +69,8 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         seed_cycles: int = 4, random_seed: int = 1,
         max_iterations: int = 20,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Fig13Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Fig13Result:
     """Run the Figure 13 study on the default design set."""
     result = Fig13Result()
     for design_name, output, group in subjects:
@@ -77,7 +78,7 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
-                                engine=formal_engine)
+                                engine=formal_engine, mine_engine=mine_engine)
         closure = CoverageClosure(module, outputs=[output], config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

@@ -72,7 +72,8 @@ class Fig14Result:
 def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
         random_seed: int = 3, max_iterations: int = 20,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Fig14Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Fig14Result:
     """Run the Figure 14 study."""
     result = Fig14Result()
     for design_name in subjects:
@@ -81,7 +82,7 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
         outputs = list(meta.mining_outputs) or None
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
-                                engine=formal_engine)
+                                engine=formal_engine, mine_engine=mine_engine)
         closure = CoverageClosure(module, outputs=outputs, config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

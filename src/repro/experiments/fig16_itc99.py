@@ -81,13 +81,15 @@ def run(designs: Sequence[str] | None = None,
         max_depth: int | None = 8,
         sim_engine: str = "scalar",
         sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Fig16Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Fig16Result:
     """Run the ITC'99 coverage comparison.
 
     ``sim_engine``/``sim_lanes`` select the simulation back end for both
-    the mining data generator and the suite coverage replay (see
+    the mining data generator and the suite coverage replay, and
+    ``mine_engine`` the A-Miner back end (see
     :class:`repro.core.config.GoldMineConfig`); results are identical,
-    the batched engine is just faster on the refined suites.
+    the batched/columnar engines are just faster on the refined suites.
     """
     cycles = dict(DEFAULT_CYCLES if cycles is None else cycles)
     designs = list(designs) if designs is not None else list(cycles)
@@ -114,7 +116,8 @@ def run(designs: Sequence[str] | None = None,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 max_depth=max_depth, sim_engine=sim_engine,
-                                sim_lanes=sim_lanes, engine=formal_engine)
+                                sim_lanes=sim_lanes, engine=formal_engine,
+                                mine_engine=mine_engine)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(

@@ -91,7 +91,8 @@ class Table1Result:
 def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         window: int | None = None, max_iterations: int = 24,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Table1Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Table1Result:
     """Run the zero-seed study: no initial patterns at all."""
     result = Table1Result()
     for design_name, output in subjects:
@@ -101,7 +102,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             window=window if window is not None else meta.window,
             max_iterations=max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes,
-            engine=formal_engine,
+            engine=formal_engine, mine_engine=mine_engine,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)
         closure_result = closure.run(None)

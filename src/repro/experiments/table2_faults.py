@@ -75,7 +75,8 @@ class Table2Result:
 def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
                          max_iterations: int,
                          sim_engine: str = "scalar", sim_lanes: int = 64,
-                         formal_engine: str = "explicit"):
+                         formal_engine: str = "explicit",
+                         mine_engine: str = "rowwise"):
     """Mine the golden design's assertion suite with the refinement loop.
 
     All outputs (including multi-bit buses, mined bit by bit) are covered so
@@ -86,7 +87,7 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine)
+                            engine=formal_engine, mine_engine=mine_engine)
     closure = CoverageClosure(module, outputs=None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     return module, result
@@ -98,11 +99,13 @@ def run(design_name: str = "fetch",
         max_iterations: int = 16,
         mode: str = "formal",
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Table2Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Table2Result:
     """Run the fault-injection regression on the fetch stage."""
     module, closure_result = mine_assertion_suite(
         design_name, seed_cycles, random_seed, max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        mine_engine=mine_engine,
     )
     assertions = closure_result.all_true_assertions
 

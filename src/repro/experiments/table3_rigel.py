@@ -63,7 +63,8 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         baseline_cycles: int = 1_000, baseline_seed: int = 11,
         max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
-        formal_engine: str = "explicit") -> Table3Result:
+        formal_engine: str = "explicit",
+        mine_engine: str = "rowwise") -> Table3Result:
     """Run the Rigel coverage comparison.
 
     The baseline is each module's directed test (repeated to the requested
@@ -100,7 +101,7 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
-                                engine=formal_engine)
+                                engine=formal_engine, mine_engine=mine_engine)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(directed())

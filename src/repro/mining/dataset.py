@@ -74,6 +74,83 @@ def _bit_features(module: Module, signal: str, cycle: int) -> list[FeatureSpec]:
     return [FeatureSpec(signal, cycle, bit) for bit in range(width)]
 
 
+def resolve_target(module: Module, output: str, window: int,
+                   output_bit: int | None,
+                   synth: SynthesizedModule | None) -> tuple[SynthesizedModule, bool, TargetSpec]:
+    """Validate a mining subject and place its target offset.
+
+    Shared by the row-wise and columnar datasets so both agree exactly on
+    validation errors and on where the target lives (offset ``window``
+    for sequential outputs, ``window - 1`` for combinational ones).
+    Returns ``(synth, sequential_target, target_spec)``.
+    """
+    if window < 1:
+        raise ValueError("mining window must be at least 1")
+    if not module.has_signal(output):
+        raise KeyError(f"'{output}' is not a signal of module '{module.name}'")
+    if module.width_of(output) > 1 and output_bit is None:
+        raise ValueError(
+            f"output '{output}' is {module.width_of(output)} bits wide; "
+            "specify output_bit to mine one bit at a time"
+        )
+    synth = synth or synthesize(module)
+    sequential = output in synth.next_state
+    target_cycle = window if sequential else window - 1
+    return synth, sequential, TargetSpec(output, target_cycle, output_bit)
+
+
+def iter_window_values(features: Sequence[FeatureSpec],
+                       valuations: Mapping[int, Mapping[str, int]]):
+    """Yield ``(feature, value)`` for one window of per-offset valuations.
+
+    A vector signal contributes one feature per bit; each (cycle, signal)
+    word is fetched once and the bits sliced off locally, instead of
+    re-extracting through :meth:`FeatureSpec.extract` per bit feature.
+    ``value`` is the raw word for bit-``None`` features and the extracted
+    bit otherwise — both engines treat nonzero as 1.  Shared by the
+    row-wise and columnar ``add_window`` paths so per-window extraction
+    stays identical between them.
+    """
+    words: dict[tuple[int, str], int] = {}
+    for feature in features:
+        key = (feature.cycle, feature.signal)
+        word = words.get(key)
+        if word is None:
+            word = valuations[feature.cycle][feature.signal]
+            words[key] = word
+        yield feature, (word if feature.bit is None
+                        else (word >> feature.bit) & 1)
+
+
+def enumerate_features(module: Module, output: str, window: int,
+                       synth: SynthesizedModule, *,
+                       include_internal_state: bool,
+                       sequential_target: bool,
+                       target_cycle: int) -> list[FeatureSpec]:
+    """The cone-restricted feature space, one spec per signal bit.
+
+    The enumeration order (offsets ascending, cone order within an
+    offset, bits ascending within a signal) is the *column order* both
+    mining engines share — it is the documented tie-break for split
+    selection, so it must stay identical between them.
+    """
+    per_offset = mining_features(
+        module,
+        output,
+        window,
+        synth,
+        include_internal_state=include_internal_state,
+        sequential_target=sequential_target,
+    )
+    features: list[FeatureSpec] = []
+    for offset in sorted(per_offset):
+        for name in per_offset[offset]:
+            if name == output and offset == target_cycle:
+                continue
+            features.extend(_bit_features(module, name, offset))
+    return features
+
+
 @dataclass
 class MiningDataset:
     """Feature/target rows for one output of one module.
@@ -96,37 +173,14 @@ class MiningDataset:
     rows: list[tuple[dict[str, int], int]] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.window < 1:
-            raise ValueError("mining window must be at least 1")
-        if not self.module.has_signal(self.output):
-            raise KeyError(f"'{self.output}' is not a signal of module '{self.module.name}'")
-        if self.module.width_of(self.output) > 1 and self.output_bit is None:
-            raise ValueError(
-                f"output '{self.output}' is {self.module.width_of(self.output)} bits wide; "
-                "specify output_bit to mine one bit at a time"
-            )
-        self.synth = self.synth or synthesize(self.module)
-        self._sequential_target = self.output in self.synth.next_state
-        target_cycle = self.window if self._sequential_target else self.window - 1
-        self.target = TargetSpec(self.output, target_cycle, self.output_bit)
-        self._build_features()
-
-    def _build_features(self) -> None:
-        per_offset = mining_features(
-            self.module,
-            self.output,
-            self.window,
-            self.synth,
+        self.synth, self._sequential_target, self.target = resolve_target(
+            self.module, self.output, self.window, self.output_bit, self.synth)
+        self.features = enumerate_features(
+            self.module, self.output, self.window, self.synth,
             include_internal_state=self.include_internal_state,
             sequential_target=self._sequential_target,
+            target_cycle=self.target.cycle,
         )
-        features: list[FeatureSpec] = []
-        for offset in sorted(per_offset):
-            for name in per_offset[offset]:
-                if name == self.output and offset == self.target.cycle:
-                    continue
-                features.extend(_bit_features(self.module, name, offset))
-        self.features = features
 
     # ------------------------------------------------------------------
     @property
@@ -168,14 +222,25 @@ class MiningDataset:
         """
         return sum(self.add_trace(trace) for trace in traces)
 
+    def add_lane_block(self, block) -> int:
+        """Ingest a :class:`~repro.sim.batched.LaneWordBlock`.
+
+        The row-wise representation has no zero-copy path — the block is
+        widened to per-lane traces first.  (The columnar dataset consumes
+        the lane words directly; see
+        :meth:`repro.mining.columnar.ColumnarDataset.add_lane_block`.)
+        """
+        return self.add_traces(block.to_traces())
+
     def add_window(self, valuations: Mapping[int, Mapping[str, int]]) -> bool:
         """Add one explicit window of per-offset valuations."""
         return self._add_window(valuations)
 
     def _add_window(self, valuations: Mapping[int, Mapping[str, int]]) -> bool:
-        feature_values: dict[str, int] = {}
-        for feature in self.features:
-            feature_values[feature.column] = feature.extract(valuations[feature.cycle])
+        feature_values = {
+            feature.column: value
+            for feature, value in iter_window_values(self.features, valuations)
+        }
         target_value = self.target.extract(valuations[self.target.cycle])
         self.rows.append((feature_values, target_value))
         return True

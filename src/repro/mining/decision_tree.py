@@ -79,6 +79,35 @@ def node_statistics(targets: Sequence[int]) -> tuple[float, float]:
     return mean, error
 
 
+def child_error_fraction(zero_ones: int, zero_count: int,
+                         one_ones: int, one_count: int) -> tuple[int, int]:
+    """Exact summed child error of a binary split, as an integer fraction.
+
+    Mining targets are single bits, so a child with ``n`` rows of which
+    ``k`` are 1 has error ``sum((v - k/n)^2) = k*(n-k)/n`` and the summed
+    child error of a split is the rational number::
+
+        k0*(n0-k0)/n0 + k1*(n1-k1)/n1
+
+    returned here as ``(numerator, denominator)`` over the common
+    denominator ``n0*n1``.  Both mining engines (row-wise and columnar)
+    rank candidate split columns by this exact fraction via
+    :func:`fraction_less`, so float rounding can never make the engines
+    disagree on a split.  **Tie-break:** a candidate must be *strictly*
+    smaller to displace the current best, so among tied columns the first
+    one in dataset feature (column) order wins — identically in both
+    engines, which enumerate features in the same order.
+    """
+    numerator = (zero_ones * (zero_count - zero_ones) * one_count
+                 + one_ones * (one_count - one_ones) * zero_count)
+    return numerator, zero_count * one_count
+
+
+def fraction_less(left: tuple[int, int], right: tuple[int, int]) -> bool:
+    """Exact ``left < right`` over non-negative fractions (cross-multiply)."""
+    return left[0] * right[1] < right[0] * left[1]
+
+
 class DecisionTree:
     """Decision tree over a :class:`MiningDataset` built from scratch."""
 
@@ -120,30 +149,38 @@ class DecisionTree:
             self._split_recursively(child)
 
     def _select_split_column(self, node: TreeNode) -> str | None:
-        """Pick the column minimising the summed child error (Figure 2)."""
+        """Pick the column minimising the summed child error (Figure 2).
+
+        Candidates are ranked with the exact integer fraction from
+        :func:`child_error_fraction`; ties keep the earliest column in
+        dataset feature order.  The columnar engine evaluates the same
+        fraction from popcounts, so split selection is engine-invariant.
+        """
         rows = self.dataset.rows
         used = node.used_columns()
+        total_rows = len(node.rows)
         best_column: str | None = None
-        best_error = float("inf")
+        best_key: tuple[int, int] | None = None
         for feature in self.dataset.features:
             column = feature.column
             if column in used:
                 continue
-            zero_targets: list[int] = []
-            one_targets: list[int] = []
+            one_count = 0
+            one_ones = 0
+            zero_ones = 0
             for index in node.rows:
                 values, target = rows[index]
                 if values.get(column, 0):
-                    one_targets.append(target)
+                    one_count += 1
+                    one_ones += target
                 else:
-                    zero_targets.append(target)
-            if not zero_targets or not one_targets:
+                    zero_ones += target
+            zero_count = total_rows - one_count
+            if not zero_count or not one_count:
                 continue  # the column does not separate anything at this node
-            _, zero_error = node_statistics(zero_targets)
-            _, one_error = node_statistics(one_targets)
-            total = zero_error + one_error
-            if total < best_error - 1e-12:
-                best_error = total
+            key = child_error_fraction(zero_ones, zero_count, one_ones, one_count)
+            if best_key is None or fraction_less(key, best_key):
+                best_key = key
                 best_column = column
         return best_column
 

@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "context; bmc-fresh = cold solver per query)")
     run.add_argument("--lanes", type=int, default=64,
                      help="lanes per batched-simulation pass (default 64)")
+    run.add_argument("--mine-engine", dest="mine_engine",
+                     choices=("rowwise", "columnar"), default="rowwise",
+                     help="A-Miner back end (rowwise = per-row dicts, the "
+                          "differential baseline; columnar = big-int bitset "
+                          "columns with popcount split gains — identical "
+                          "trees, much faster induction)")
     run.add_argument("--smoke", action="store_true",
                      help="smoke scale: reduced subjects/budgets, seconds not minutes")
     run.add_argument("--designs", type=_parse_csv, default=None,
@@ -117,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     options = RunOptions(
         engine=args.engine, lanes=args.lanes, formal_engine=args.formal_engine,
+        mine_engine=args.mine_engine,
         smoke=args.smoke,
         designs=args.designs, seeds=args.seeds, seed_cycles=args.seed_cycles,
         max_iterations=args.max_iterations,

@@ -59,7 +59,9 @@ class RunOptions:
     every driver (see ``GoldMineConfig.sim_engine``); ``formal_engine``
     selects the formal back end the refinement loop verifies candidates
     with (``explicit``, ``bmc`` — the incremental SAT path, ``bmc-fresh``,
-    ``bdd``); ``smoke`` shrinks workloads to seconds for CI and doc
+    ``bdd``); ``mine_engine`` selects the A-Miner back end (``rowwise``
+    or the bit-parallel ``columnar``, see ``GoldMineConfig.mine_engine``);
+    ``smoke`` shrinks workloads to seconds for CI and doc
     checks; ``designs``/``seeds`` restrict or parameterize the job matrix
     where an experiment iterates over designs; ``max_iterations``
     overrides the refinement budget.
@@ -68,6 +70,7 @@ class RunOptions:
     engine: str = "scalar"
     lanes: int = 64
     formal_engine: str = "explicit"
+    mine_engine: str = "rowwise"
     smoke: bool = False
     designs: tuple[str, ...] | None = None
     seeds: tuple[int, ...] = (0,)
@@ -86,6 +89,7 @@ class RunOptions:
             "engine": self.engine,
             "lanes": self.lanes,
             "formal_engine": self.formal_engine,
+            "mine_engine": self.mine_engine,
             "smoke": self.smoke,
             "designs": list(self.designs) if self.designs is not None else None,
             "seeds": list(self.seeds),

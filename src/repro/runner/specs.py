@@ -28,7 +28,8 @@ def _iterations(options: RunOptions, full: int, smoke: int) -> int:
 
 def _engine_params(options: RunOptions) -> dict:
     return {"sim_engine": options.engine, "sim_lanes": options.lanes,
-            "formal_engine": options.formal_engine}
+            "formal_engine": options.formal_engine,
+            "mine_engine": options.mine_engine}
 
 
 def _reject_designs(options: RunOptions, experiment: str, fixed: str) -> None:
@@ -395,7 +396,8 @@ def _sweep_execute(params: Mapping) -> tuple[dict, int]:
                             max_iterations=params["max_iterations"],
                             sim_engine=params["sim_engine"],
                             sim_lanes=params["sim_lanes"],
-                            engine=params.get("formal_engine", "explicit"))
+                            engine=params.get("formal_engine", "explicit"),
+                            mine_engine=params.get("mine_engine", "rowwise"))
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                               config=config)
     seed_cycles = params["seed_cycles"]

@@ -323,6 +323,43 @@ def _lane_traces(netlist: "CompiledNetlist", columns: Sequence[str],
     return traces
 
 
+class LaneWordBlock:
+    """Lane-packed history of one batched run: per-cycle slot words.
+
+    This is the zero-copy hand-off between the batched simulator and the
+    columnar miner (:meth:`repro.mining.columnar.ColumnarDataset
+    .add_lane_block`): ``word(name, bit, cycle)`` returns the raw lane
+    word — bit ``l`` is lane ``l``'s value of that signal bit at that
+    cycle — without ever transposing to per-lane rows.  :meth:`to_traces`
+    still widens the block into one :class:`Trace` per lane for the
+    row-wise engine and for ragged batches.
+    """
+
+    __slots__ = ("netlist", "trace_columns", "cycle_words", "lanes", "lengths")
+
+    def __init__(self, netlist: CompiledNetlist, trace_columns: Sequence[str],
+                 cycle_words: Sequence[Sequence[int]], lanes: int,
+                 lengths: Sequence[int] | None = None):
+        self.netlist = netlist
+        self.trace_columns = tuple(trace_columns)
+        self.cycle_words = list(cycle_words)
+        self.lanes = lanes
+        self.lengths = list(lengths) if lengths is not None else None
+
+    @property
+    def cycles(self) -> int:
+        return len(self.cycle_words)
+
+    def word(self, name: str, bit: int, cycle: int) -> int:
+        """Lane word of one signal bit at one cycle."""
+        return self.cycle_words[cycle][self.netlist.slots[name][bit]]
+
+    def to_traces(self) -> list[Trace]:
+        """Widen the block into one per-lane :class:`Trace` each."""
+        return _lane_traces(self.netlist, self.trace_columns, self.cycle_words,
+                            self.lanes, self.lengths)
+
+
 # ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
@@ -447,6 +484,11 @@ class BatchedSimulator(SimulatorBase):
         inputs and their traces stop at their own length.  At most
         :attr:`lanes` lists can be driven at once.
         """
+        return self.run_batch_block(vector_lists, reset=reset).to_traces()
+
+    def run_batch_block(self, vector_lists: Sequence[Sequence[Mapping[str, int]]],
+                        reset: bool = True) -> LaneWordBlock:
+        """Like :meth:`run_batch`, but return the lane-packed words."""
         if len(vector_lists) > self._lanes:
             raise SimulationError(
                 f"{len(vector_lists)} sequences exceed the {self._lanes}-lane batch"
@@ -466,8 +508,8 @@ class BatchedSimulator(SimulatorBase):
                             stacked[name] = self.peek(name)
                         stacked[name][lane] = int(value)
             cycle_words.append(self.step(stacked).raw_words)
-        return _lane_traces(self.netlist, self.trace_columns, cycle_words,
-                            self._lanes, [len(vectors) for vectors in vector_lists])
+        return LaneWordBlock(self.netlist, self.trace_columns, cycle_words,
+                             self._lanes, [len(vectors) for vectors in vector_lists])
 
     def run_random(self, cycles: int, seed: int = 0,
                    bias: Mapping[str, float] | None = None,
@@ -479,6 +521,21 @@ class BatchedSimulator(SimulatorBase):
         design's input width, not with the lane count.  ``bias`` gives a
         per-signal probability of driving 1 on single-bit inputs, like
         :class:`~repro.sim.stimulus.RandomStimulus`.
+        """
+        if not collect_traces:
+            self.run_random_block(cycles, seed=seed, bias=bias, collect_words=False)
+            return []
+        return self.run_random_block(cycles, seed=seed, bias=bias).to_traces()
+
+    def run_random_block(self, cycles: int, seed: int = 0,
+                         bias: Mapping[str, float] | None = None,
+                         collect_words: bool = True) -> LaneWordBlock:
+        """Like :meth:`run_random`, but return the lane-packed words.
+
+        The random stream is identical to :meth:`run_random` for the same
+        ``(cycles, seed, bias)``, so the block is the same data the trace
+        path would record — just left in lane-word form for zero-copy
+        consumers (the columnar miner, the coverage flag evaluator).
         """
         rng = random.Random(seed)
         bias = bias or {}
@@ -499,11 +556,9 @@ class BatchedSimulator(SimulatorBase):
                     for slot in slots:
                         bits[slot] = rng.getrandbits(lanes)
             sampled = self.step()
-            if collect_traces:
+            if collect_words:
                 cycle_words.append(sampled.raw_words)
-        if not collect_traces:
-            return []
-        return _lane_traces(self.netlist, self.trace_columns, cycle_words, lanes)
+        return LaneWordBlock(self.netlist, self.trace_columns, cycle_words, lanes)
 
 
 def random_batch_traces(module: Module, cycles: int, lanes: int = 64, seed: int = 0,
@@ -513,3 +568,18 @@ def random_batch_traces(module: Module, cycles: int, lanes: int = 64, seed: int 
     cycles each, simulated bit-parallel; returns one trace per lane."""
     simulator = BatchedSimulator(module, lanes=lanes, trace_columns=trace_columns)
     return simulator.run_random(cycles, seed=seed, bias=bias)
+
+
+def random_batch_block(module: Module, cycles: int, lanes: int = 64, seed: int = 0,
+                       bias: Mapping[str, float] | None = None,
+                       trace_columns: Sequence[str] | None = None,
+                       synth: SynthesizedModule | None = None) -> LaneWordBlock:
+    """Like :func:`random_batch_traces`, but keep the lane-packed words.
+
+    Same RNG stream as :func:`random_batch_traces` for identical
+    arguments: ``block.to_traces()`` reproduces its output exactly, while
+    zero-copy consumers read the words directly.
+    """
+    simulator = BatchedSimulator(module, lanes=lanes, trace_columns=trace_columns,
+                                 synth=synth)
+    return simulator.run_random_block(cycles, seed=seed, bias=bias)

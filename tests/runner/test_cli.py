@@ -132,6 +132,26 @@ class TestRun:
         batched = json.loads((tmp_path / "batched" / "fig12" / "result.json").read_text())
         assert scalar["series"] == batched["series"]
 
+    def test_mine_engine_columnar_matches_rowwise(self, tmp_path):
+        """--mine-engine columnar must not change any artifact data."""
+        repro_cli("run", "fig12", "--artifacts", str(tmp_path / "rowwise"),
+                  "--quiet")
+        repro_cli("run", "fig12", "--mine-engine", "columnar", "--engine",
+                  "batched", "--lanes", "16",
+                  "--artifacts", str(tmp_path / "columnar"), "--quiet")
+        rowwise = json.loads(
+            (tmp_path / "rowwise" / "fig12" / "result.json").read_text())
+        columnar = json.loads(
+            (tmp_path / "columnar" / "fig12" / "result.json").read_text())
+        assert rowwise["series"] == columnar["series"]
+        assert rowwise["notes"] == columnar["notes"]
+
+    def test_mine_engine_recorded_in_manifest(self, tmp_path):
+        repro_cli("run", "fig12", "--mine-engine", "columnar",
+                  "--artifacts", str(tmp_path), "--quiet")
+        manifest = json.loads((tmp_path / "fig12" / "run.json").read_text())
+        assert manifest["options"]["mine_engine"] == "columnar"
+
 
 class TestResume:
     def test_resume_skips_completed_jobs(self, tmp_path):

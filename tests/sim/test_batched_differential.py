@@ -193,3 +193,45 @@ def test_create_simulator_factory():
         create_simulator(module, engine="verilator")
     with pytest.raises(ValueError):
         create_simulator(module, engine="batched", observers=[object()])
+
+
+# ----------------------------------------------------------------------
+# lane-word blocks (the zero-copy hand-off to the columnar miner)
+# ----------------------------------------------------------------------
+def test_run_batch_block_matches_run_batch_on_ragged_batches():
+    import random as _random
+
+    module = load("arbiter2")
+    rng = _random.Random(7)
+    sequences = [
+        [{"req0": rng.randint(0, 1), "req1": rng.randint(0, 1)}
+         for _ in range(length)]
+        for length in (3, 5, 1, 4)
+    ]
+    traces = BatchedSimulator(module, lanes=8).run_batch(sequences)
+    block = BatchedSimulator(module, lanes=8).run_batch_block(sequences)
+    widened = block.to_traces()
+    assert block.lengths == [3, 5, 1, 4]
+    assert len(widened) == len(traces)
+    for a, b in zip(widened, traces):
+        assert a.columns == b.columns and a.rows == b.rows
+
+
+def test_lane_word_block_words_match_trace_values():
+    module = load("arbiter2")
+    block = BatchedSimulator(module, lanes=4).run_random_block(6, seed=3)
+    traces = block.to_traces()
+    assert block.cycles == 6 and block.lanes == 4
+    for lane, trace in enumerate(traces):
+        for cycle in range(len(trace)):
+            for name in ("req0", "gnt0"):
+                assert ((block.word(name, 0, cycle) >> lane) & 1) == \
+                    trace.value(name, cycle)
+
+
+def test_run_random_block_reproduces_run_random():
+    module = load("b01")
+    direct = BatchedSimulator(module, lanes=8).run_random(9, seed=11)
+    block = BatchedSimulator(module, lanes=8).run_random_block(9, seed=11)
+    for a, b in zip(block.to_traces(), direct):
+        assert a.columns == b.columns and a.rows == b.rows

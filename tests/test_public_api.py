@@ -7,7 +7,7 @@ import repro
 
 class TestPublicApi:
     def test_version(self):
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
 
     def test_all_exports_resolve(self):
         for name in repro.__all__:
@@ -22,6 +22,16 @@ class TestPublicApi:
         simulator = create_simulator(arbiter2(), engine="batched", lanes=4)
         assert isinstance(simulator, SimulatorBase)
         assert simulator.lanes == 4
+
+    def test_mining_engine_surface_exported(self):
+        """The PR-4 mining engine API must be reachable from the top level."""
+        from repro import MINE_ENGINES
+        from repro.designs import arbiter2
+        from repro.mining import ColumnarDecisionTree, create_dataset, create_decision_tree
+
+        assert set(MINE_ENGINES) == {"rowwise", "columnar"}
+        dataset = create_dataset(arbiter2(), "gnt0", engine="columnar", window=2)
+        assert isinstance(create_decision_tree(dataset), ColumnarDecisionTree)
 
     def test_coverage_surface_exported(self):
         from repro import CoverageRunner, RandomStimulus, measure_coverage
