@@ -34,6 +34,9 @@ The main entry points are:
 * :mod:`repro.faults` — stuck-at mutation and assertion regression.
 * :mod:`repro.designs` — the bundled benchmark designs.
 * :mod:`repro.experiments` — one driver per paper figure/table.
+* :mod:`repro.formal` — the formal back ends, the process-parallel
+  verification pool (``GoldMineConfig(formal_workers=N)``) and the
+  cross-run proof cache (``formal_proof_cache``).
 * :mod:`repro.runner` — parallel experiment orchestration (job specs,
   worker pool, checkpoint/resume), exposed on the command line as
   ``python -m repro`` — see ``docs/EXPERIMENTS.md``.
@@ -48,7 +51,7 @@ from repro.core import (
     IterationRecord,
 )
 from repro.coverage import CoverageReport, CoverageRunner, measure_coverage
-from repro.formal import FormalVerifier
+from repro.formal import FormalVerifier, FormalWorkerPool, ProofCache
 from repro.hdl import Module, parse_module, parse_modules
 from repro.mining import MINE_ENGINES
 from repro.sim import (
@@ -63,7 +66,7 @@ from repro.sim import (
     create_simulator,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Assertion",
@@ -74,12 +77,14 @@ __all__ = [
     "CoverageRunner",
     "DirectedStimulus",
     "FormalVerifier",
+    "FormalWorkerPool",
     "GoldMine",
     "GoldMineConfig",
     "IterationRecord",
     "Literal",
     "MINE_ENGINES",
     "Module",
+    "ProofCache",
     "RandomStimulus",
     "ReplayStimulus",
     "SIM_ENGINES",

@@ -69,6 +69,12 @@ class CnfBuilder:
     def name_of(self, variable: int) -> str | None:
         return self._var_to_name.get(variable)
 
+    def lookup(self, name: str) -> int | None:
+        """The solver variable for ``name`` if it has one, without
+        allocating (unlike :meth:`variable`) and without copying the whole
+        name table (unlike :attr:`names`)."""
+        return self._name_to_var.get(name)
+
     def fresh(self) -> int:
         """Allocate an anonymous auxiliary variable."""
         return self._allocate()

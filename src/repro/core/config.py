@@ -42,6 +42,18 @@ class GoldMineConfig:
       faster.  In a :meth:`~repro.core.goldmine.GoldMine.mine` pass with
       ``sim_engine="batched"``, the random data-generator additionally
       hands the columnar miner its lane-packed words zero-copy.
+    * ``formal_workers`` — process parallelism of the formal stage: ``1``
+      checks candidates in-process, ``N > 1`` shards every batch across
+      ``N`` persistent model-checking worker processes
+      (:mod:`repro.formal.parallel`).  Results — verdicts *and*
+      counterexamples — are identical for every worker count; only the
+      wall clock changes.
+    * ``formal_proof_cache`` — cross-run verdict reuse
+      (:mod:`repro.formal.proofcache`): ``False`` disables it, ``True``
+      shares verdicts in-memory between every run in the process, a path
+      string additionally persists them to that JSON file (conventionally
+      under ``artifacts/``) so sweeps across seeds/jobs stop re-proving
+      identical candidates.  Cache hits reproduce byte-identical results.
     """
 
     window: int = 1
@@ -58,6 +70,8 @@ class GoldMineConfig:
     sim_engine: str = "scalar"
     sim_lanes: int = 64
     mine_engine: str = "rowwise"
+    formal_workers: int = 1
+    formal_proof_cache: bool | str = False
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -74,6 +88,8 @@ class GoldMineConfig:
             )
         if self.sim_lanes < 1:
             raise ValueError("sim_lanes must be at least 1")
+        if self.formal_workers < 1:
+            raise ValueError("formal_workers must be at least 1")
         from repro.mining import MINE_ENGINES
 
         if self.mine_engine not in MINE_ENGINES:

@@ -25,6 +25,7 @@ from repro.assertions.assertion import Assertion
 from repro.core.config import GoldMineConfig
 from repro.core.results import MiningSummary
 from repro.formal.checker import FormalVerifier
+from repro.formal.proofcache import ProofCache
 from repro.formal.result import CheckResult
 from repro.hdl.module import Module
 from repro.hdl.synth import SynthesizedModule, synthesize
@@ -62,12 +63,18 @@ class GoldMine:
         self.module = module
         self.config = config or GoldMineConfig()
         self.synth: SynthesizedModule = synthesize(module)
+        #: Close only verifiers this engine constructed: a caller-injected
+        #: verifier may be shared (warm worker pool, proof cache), and its
+        #: lifecycle belongs to the caller.
+        self._owns_verifier = verifier is None
         self.verifier = verifier or FormalVerifier(
             module,
             engine=self.config.engine,
             bound=self.config.bound,
             max_states=self.config.max_states,
             max_input_combinations=self.config.max_input_combinations,
+            workers=self.config.formal_workers,
+            proof_cache=ProofCache.resolve(self.config.formal_proof_cache),
         )
 
     # ------------------------------------------------------------------
@@ -192,8 +199,11 @@ class GoldMine:
         candidates = tree.candidate_assertions()
         summary = MiningSummary(self.module.name, self.target_label(output, bit),
                                 candidates=candidates)
-        for candidate in candidates:
-            result: CheckResult = self.verifier.check(candidate)
+        # One batch through the verifier, not one cold call per candidate:
+        # the incremental engine amortises its per-design encoding over the
+        # whole candidate set and a parallel verifier dispatches one wave.
+        results: list[CheckResult] = self.verifier.check_all(candidates)
+        for candidate, result in zip(candidates, results):
             if result.is_true:
                 summary.true_assertions.append(candidate)
             else:
@@ -215,7 +225,13 @@ class GoldMine:
         else:
             data = list(traces)
         report = MiningReport(self.module.name)
-        for output, bit in self.target_outputs(outputs):
-            label = self.target_label(output, bit)
-            report.summaries[label] = self.mine_output(output, data, bit)
+        try:
+            for output, bit in self.target_outputs(outputs):
+                label = self.target_label(output, bit)
+                report.summaries[label] = self.mine_output(output, data, bit)
+        finally:
+            # Release formal worker processes and flush the proof cache;
+            # the verifier restarts lazily if this engine mines again.
+            if self._owns_verifier:
+                self.verifier.close()
         return report

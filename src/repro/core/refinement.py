@@ -169,18 +169,23 @@ class CoverageClosure:
         for context in self.contexts:
             context.tree.build()
 
-        # Iteration 0: candidates from the seed data alone.
-        record = self._check_all(0, result)
-        result.iterations.append(record)
-        pending = self._pending_counterexamples(record)
-
-        iteration = 0
-        while pending and iteration < budget:
-            iteration += 1
-            self._absorb_counterexamples(pending, result)
-            record = self._check_all(iteration, result)
+        try:
+            # Iteration 0: candidates from the seed data alone.
+            record, counterexamples = self._check_all(0, result)
             result.iterations.append(record)
-            pending = self._pending_counterexamples(record)
+            pending = self._pending_counterexamples(counterexamples)
+
+            iteration = 0
+            while pending and iteration < budget:
+                iteration += 1
+                self._absorb_counterexamples(pending, result)
+                record, counterexamples = self._check_all(iteration, result)
+                result.iterations.append(record)
+                pending = self._pending_counterexamples(counterexamples)
+        finally:
+            # Release formal worker processes and flush the proof cache;
+            # everything restarts lazily if this closure runs again.
+            self.verifier.close()
 
         result.converged = not pending and all(context.converged for context in self.contexts)
         for context in self.contexts:
@@ -191,16 +196,23 @@ class CoverageClosure:
         return result
 
     # ------------------------------------------------------------------
-    def _check_all(self, iteration: int, result: ClosureResult) -> IterationRecord:
-        """Mine + check candidates for every output; return the iteration record.
+    def _check_all(self, iteration: int, result: ClosureResult
+                   ) -> tuple[IterationRecord, list[Counterexample]]:
+        """Mine + check candidates for every output.
+
+        Returns the iteration record plus the iteration's counterexamples
+        in verdict order — as a value, not hidden instance state, so the
+        caller can never observe a stale list from an earlier iteration.
 
         All unresolved candidates of one output are verified as a single
-        batch through :meth:`FormalVerifier.check_all`, so the incremental
+        batch through :meth:`FormalVerifier.check_all`: the incremental
         BMC engine amortises its per-design encoding and learned clauses
-        over the whole candidate set instead of starting cold per check.
+        over the whole candidate set, and a parallel verifier
+        (``config.formal_workers > 1``) fans the batch out across its
+        persistent worker processes in one wave.
         """
         record = IterationRecord(iteration=iteration)
-        self._latest_counterexamples: list[Counterexample] = []
+        counterexamples: list[Counterexample] = []
         for context in self.contexts:
             if self.rebuild_trees and iteration > 0:
                 context.tree.build()
@@ -219,23 +231,31 @@ class CoverageClosure:
                     context.failed.add(candidate)
                     record.failed_assertions.append(named)
                     if check.counterexample is not None:
-                        self._latest_counterexamples.append(check.counterexample)
+                        counterexamples.append(check.counterexample)
                 else:
                     # Unknown verdicts (possible with the bounded engine) are
                     # treated conservatively: not proven, no counterexample.
                     record.failed_assertions.append(named)
             record.input_space_coverage[context.label] = context.input_space_coverage()
-        record.counterexamples = len(self._latest_counterexamples)
+        record.counterexamples = len(counterexamples)
         record.cumulative_true_assertions = sum(len(c.proven) for c in self.contexts)
         record.cumulative_test_cycles = sum(len(seq) for seq in result.test_suite)
-        return record
+        return record, counterexamples
 
-    def _pending_counterexamples(self, record: IterationRecord) -> list[Counterexample]:
-        # Deduplicate identical input sequences (several refuted assertions
-        # can share one witness), mirroring the batching optimisation the
-        # paper suggests in Section 7.
+    @staticmethod
+    def _pending_counterexamples(counterexamples: Sequence[Counterexample]
+                                 ) -> list[Counterexample]:
+        """Deduplicate one iteration's counterexamples by input sequence.
+
+        Several refuted assertions can share one witness (the batching
+        optimisation the paper suggests in Section 7).  The dedup key is
+        the per-cycle input assignments with each vector's items sorted by
+        signal name, so it is stable under dict insertion order; the first
+        counterexample with a given sequence wins, keeping the result
+        deterministic in verdict order.
+        """
         unique: dict[tuple, Counterexample] = {}
-        for counterexample in self._latest_counterexamples:
+        for counterexample in counterexamples:
             key = tuple(tuple(sorted(vector.items())) for vector in counterexample.input_vectors)
             unique.setdefault(key, counterexample)
         return list(unique.values())

@@ -152,6 +152,24 @@ class ClosureResult:
             "formal_reuse": dict(self.formal_reuse),
         }
 
+    def deterministic_json(self) -> dict:
+        """:meth:`to_json` minus the operational-telemetry fields.
+
+        ``formal_seconds`` is wall clock and ``formal_reuse`` reports *how*
+        the verdicts were obtained (solver reuse, worker dispatch, proof
+        cache hits) rather than *what* they are; both legitimately vary
+        between runs, worker counts and cache states.  Everything left —
+        verdicts, counterexamples, per-iteration records, assertions, the
+        refined test suite, ``formal_checks`` — is required to be
+        byte-identical across execution modes, which is exactly what the
+        parallel-formal differential suite and the benchmark divergence
+        gate compare.
+        """
+        data = self.to_json()
+        del data["formal_seconds"]
+        del data["formal_reuse"]
+        return data
+
     @staticmethod
     def from_json(data: Mapping) -> "ClosureResult":
         result = ClosureResult(

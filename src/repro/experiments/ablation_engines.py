@@ -54,13 +54,17 @@ def _collect_assertions(design_name: str, seed_cycles: int, random_seed: int,
                         max_iterations: int, include_failed: bool = True,
                         sim_engine: str = "scalar", sim_lanes: int = 64,
                         formal_engine: str = "explicit",
-                        mine_engine: str = "rowwise") -> tuple:
+                        mine_engine: str = "rowwise",
+                        formal_workers: int = 1,
+                        proof_cache: bool | str = False) -> tuple:
     """Mine a mixed set of true and (historically) failed assertions."""
     meta = design_info(design_name)
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine)
+                            engine=formal_engine, mine_engine=mine_engine,
+                            formal_workers=formal_workers,
+                            formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     assertions: list[Assertion] = list(result.all_true_assertions)
@@ -76,14 +80,17 @@ def run(designs: Sequence[str] = ("arbiter2", "arbiter4", "b01"),
         max_assertions_per_design: int = 40,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> list[EngineComparison]:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> list[EngineComparison]:
     """Cross-check the three engines over mined assertion suites."""
     comparisons: list[EngineComparison] = []
     for design_name in designs:
         module, assertions = _collect_assertions(
             design_name, seed_cycles, random_seed, max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
-            mine_engine=mine_engine,
+            mine_engine=mine_engine, formal_workers=formal_workers,
+            proof_cache=proof_cache,
         )
         assertions = assertions[:max_assertions_per_design]
         engines = {

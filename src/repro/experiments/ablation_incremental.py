@@ -51,12 +51,16 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                  random_seed: int, max_iterations: int,
                  sim_engine: str = "scalar", sim_lanes: int = 64,
                  formal_engine: str = "explicit",
-                 mine_engine: str = "rowwise") -> tuple[VariantOutcome, set]:
+                 mine_engine: str = "rowwise",
+                 formal_workers: int = 1,
+                 proof_cache: bool | str = False) -> tuple[VariantOutcome, set]:
     meta = design_info(design_name)
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine)
+                            engine=formal_engine, mine_engine=mine_engine,
+                            formal_workers=formal_workers,
+                            formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=[output], config=config,
                               rebuild_trees=rebuild)
     start = time.perf_counter()
@@ -80,18 +84,22 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         max_iterations: int = 24,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> AblationResult:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> AblationResult:
     """Run both variants and collect the comparison."""
     incremental, incremental_set = _run_variant(
         design_name, output, rebuild=False, seed_cycles=seed_cycles,
         random_seed=random_seed, max_iterations=max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
-        mine_engine=mine_engine)
+        mine_engine=mine_engine, formal_workers=formal_workers,
+        proof_cache=proof_cache)
     rebuilt, rebuilt_set = _run_variant(
         design_name, output, rebuild=True, seed_cycles=seed_cycles,
         random_seed=random_seed, max_iterations=max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
-        mine_engine=mine_engine)
+        mine_engine=mine_engine, formal_workers=formal_workers,
+        proof_cache=proof_cache)
     result = AblationResult(design=design_name, output=output,
                             incremental=incremental, rebuilt=rebuilt)
     result.shared_assertions = len(incremental_set & rebuilt_set)

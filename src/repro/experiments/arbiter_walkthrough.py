@@ -46,7 +46,9 @@ class WalkthroughResult:
 def run(window: int = 2, max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> WalkthroughResult:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> WalkthroughResult:
     """Run the Section 6 walkthrough and collect its narrative data."""
     module = arbiter2()
     closure = CoverageClosure(module, outputs=["gnt0"],
@@ -55,7 +57,9 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     sim_engine=sim_engine,
                                                     sim_lanes=sim_lanes,
                                                     engine=formal_engine,
-                                                    mine_engine=mine_engine))
+                                                    mine_engine=mine_engine,
+                                                    formal_workers=formal_workers,
+                                                    formal_proof_cache=proof_cache))
     closure_result = closure.run(arbiter2_directed_test())
     expression = metric_by_iteration(closure_result, arbiter2(), "expr",
                                      engine=sim_engine, lanes=sim_lanes)

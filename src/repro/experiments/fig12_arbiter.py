@@ -64,7 +64,9 @@ class Fig12Result:
 def run(window: int = 2, max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Fig12Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Fig12Result:
     """Reproduce Figure 12 on the Section 6 arbiter.
 
     ``sim_engine``/``sim_lanes`` select the simulation back end for both the
@@ -79,7 +81,9 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     sim_engine=sim_engine,
                                                     sim_lanes=sim_lanes,
                                                     engine=formal_engine,
-                                                    mine_engine=mine_engine))
+                                                    mine_engine=mine_engine,
+                                                    formal_workers=formal_workers,
+                                                    formal_proof_cache=proof_cache))
     closure_result = closure.run(arbiter2_directed_test())
 
     measurement_module = arbiter2()

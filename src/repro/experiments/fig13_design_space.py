@@ -70,7 +70,9 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         max_iterations: int = 20,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Fig13Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Fig13Result:
     """Run the Figure 13 study on the default design set."""
     result = Fig13Result()
     for design_name, output, group in subjects:
@@ -78,7 +80,9 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
-                                engine=formal_engine, mine_engine=mine_engine)
+                                engine=formal_engine, mine_engine=mine_engine,
+                                formal_workers=formal_workers,
+                                formal_proof_cache=proof_cache)
         closure = CoverageClosure(module, outputs=[output], config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

@@ -74,7 +74,9 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
         bias: dict[str, float] | None = None,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Fig15Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Fig15Result:
     """Run the high-coverage-block study."""
     meta = design_info(design_name)
     metrics = ("line", "branch", "cond", "expr", "toggle")
@@ -93,7 +95,9 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             random_seed=random_seed,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine)
+                            engine=formal_engine, mine_engine=mine_engine,
+                            formal_workers=formal_workers,
+                            formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
     closure_result = closure.run(seed_vectors)
 

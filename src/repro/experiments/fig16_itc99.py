@@ -82,7 +82,9 @@ def run(designs: Sequence[str] | None = None,
         sim_engine: str = "scalar",
         sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Fig16Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Fig16Result:
     """Run the ITC'99 coverage comparison.
 
     ``sim_engine``/``sim_lanes`` select the simulation back end for both
@@ -117,7 +119,9 @@ def run(designs: Sequence[str] | None = None,
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 max_depth=max_depth, sim_engine=sim_engine,
                                 sim_lanes=sim_lanes, engine=formal_engine,
-                                mine_engine=mine_engine)
+                                mine_engine=mine_engine,
+                                formal_workers=formal_workers,
+                                formal_proof_cache=proof_cache)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(

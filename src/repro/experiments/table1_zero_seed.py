@@ -92,7 +92,9 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         window: int | None = None, max_iterations: int = 24,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Table1Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Table1Result:
     """Run the zero-seed study: no initial patterns at all."""
     result = Table1Result()
     for design_name, output in subjects:
@@ -103,6 +105,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             max_iterations=max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes,
             engine=formal_engine, mine_engine=mine_engine,
+            formal_workers=formal_workers, formal_proof_cache=proof_cache,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)
         closure_result = closure.run(None)

@@ -76,7 +76,9 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
                          max_iterations: int,
                          sim_engine: str = "scalar", sim_lanes: int = 64,
                          formal_engine: str = "explicit",
-                         mine_engine: str = "rowwise"):
+                         mine_engine: str = "rowwise",
+                         formal_workers: int = 1,
+                         proof_cache: bool | str = False):
     """Mine the golden design's assertion suite with the refinement loop.
 
     All outputs (including multi-bit buses, mined bit by bit) are covered so
@@ -87,7 +89,9 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine)
+                            engine=formal_engine, mine_engine=mine_engine,
+                            formal_workers=formal_workers,
+                            formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     return module, result
@@ -100,12 +104,15 @@ def run(design_name: str = "fetch",
         mode: str = "formal",
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Table2Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Table2Result:
     """Run the fault-injection regression on the fetch stage."""
     module, closure_result = mine_assertion_suite(
         design_name, seed_cycles, random_seed, max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
-        mine_engine=mine_engine,
+        mine_engine=mine_engine, formal_workers=formal_workers,
+        proof_cache=proof_cache,
     )
     assertions = closure_result.all_true_assertions
 
@@ -116,6 +123,12 @@ def run(design_name: str = "fetch",
 
     campaign = run_fault_campaign(
         module, assertions, faults, mode=mode,
+        # The campaign's per-mutant model checking honours the same formal
+        # execution knobs as the mining phase (engine, worker pool, proof
+        # cache).
+        config=GoldMineConfig(engine=formal_engine,
+                              formal_workers=formal_workers,
+                              formal_proof_cache=proof_cache),
         test_suite=closure_result.test_suite if mode == "simulation" else None,
     )
 

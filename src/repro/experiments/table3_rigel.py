@@ -64,7 +64,9 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
-        mine_engine: str = "rowwise") -> Table3Result:
+        mine_engine: str = "rowwise",
+        formal_workers: int = 1,
+        proof_cache: bool | str = False) -> Table3Result:
     """Run the Rigel coverage comparison.
 
     The baseline is each module's directed test (repeated to the requested
@@ -101,7 +103,9 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
-                                engine=formal_engine, mine_engine=mine_engine)
+                                engine=formal_engine, mine_engine=mine_engine,
+                                formal_workers=formal_workers,
+                                formal_proof_cache=proof_cache)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(directed())

@@ -21,6 +21,7 @@ from repro.assertions.evaluate import assertion_holds_on_trace
 from repro.core.config import GoldMineConfig
 from repro.faults.mutation import StuckAtFault, inject_fault
 from repro.formal.checker import FormalVerifier
+from repro.formal.proofcache import ProofCache
 from repro.hdl.module import Module
 from repro.sim.simulator import Simulator
 
@@ -88,6 +89,14 @@ def run_fault_campaign(module: Module, assertions: Sequence[Assertion],
     ``mode='formal'`` model-checks each assertion on each mutant (the
     paper's method); ``mode='simulation'`` evaluates the assertions on the
     mutant's simulation of ``test_suite``.
+
+    The formal mode honours ``config.formal_workers``/``formal_proof_cache``.
+    Note the pool granularity: every mutant is a distinct design, so a
+    worker pool lives for exactly one ``check_all`` batch and is respawned
+    per mutant — worth it for large assertion suites or expensive engines,
+    pure overhead for small ones (the campaign's natural parallel axis is
+    the independent faults, which the experiment runner's job pool already
+    covers at ``--workers`` granularity).
     """
     if mode not in ("formal", "simulation"):
         raise ValueError("mode must be 'formal' or 'simulation'")
@@ -95,21 +104,37 @@ def run_fault_campaign(module: Module, assertions: Sequence[Assertion],
         raise ValueError("simulation mode requires a test suite")
     config = config or GoldMineConfig()
     result = FaultCampaignResult(module.name)
+    # One cache for the whole campaign, flushed once at the end — a
+    # per-mutant flush would rewrite the backing file M times.
+    proof_cache = ProofCache.resolve(config.formal_proof_cache)
 
     for fault in faults:
         mutant = inject_fault(module, fault)
         detection = FaultDetection(fault)
         if mode == "formal":
+            # The campaign inherits the config's formal execution knobs:
+            # each mutant's assertion suite is verified as one batch (one
+            # warm engine context, or one sharded wave across the worker
+            # pool), and verdicts may come from / feed the proof cache —
+            # mutants are distinct designs, so their content fingerprints
+            # keep cache entries apart, and a re-run of the same campaign
+            # starts warm.
             verifier = FormalVerifier(
                 mutant,
                 engine=config.engine,
                 bound=config.bound,
                 max_states=config.max_states,
                 max_input_combinations=config.max_input_combinations,
+                workers=config.formal_workers,
+                proof_cache=proof_cache,
             )
-            for assertion in assertions:
-                detection.checked_assertions += 1
-                if verifier.check(assertion).is_false:
+            try:
+                checks = verifier.check_all(list(assertions))
+            finally:
+                verifier.close(flush_cache=False)
+            detection.checked_assertions += len(checks)
+            for assertion, check in zip(assertions, checks):
+                if check.is_false:
                     detection.detecting_assertions.append(assertion)
         else:
             simulator = Simulator(mutant)
@@ -119,4 +144,6 @@ def run_fault_campaign(module: Module, assertions: Sequence[Assertion],
                 if any(not assertion_holds_on_trace(assertion, trace) for trace in traces):
                     detection.detecting_assertions.append(assertion)
         result.detections.append(detection)
+    if proof_cache is not None:
+        proof_cache.flush()
     return result

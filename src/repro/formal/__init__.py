@@ -20,11 +20,33 @@ fails:
 library uses; it selects an engine and keeps per-run statistics (number of
 checks, counterexamples, cumulative time) mirroring the runtime discussion
 in Section 7 of the paper.
+
+Two scaling layers sit behind the facade (PR 5):
+
+* :mod:`repro.formal.parallel` — a pool of persistent verification worker
+  processes; batches are sharded by a deterministic hash of each
+  candidate's canonical form and merged back in submission order, with
+  results identical to the serial engine for every worker count
+  (``FormalVerifier(workers=N)`` / ``GoldMineConfig.formal_workers``).
+* :mod:`repro.formal.proofcache` — cross-run verdict reuse keyed by
+  (design content hash, canonical assertion, engine configuration),
+  shared in-memory and optionally persisted to disk
+  (``GoldMineConfig.formal_proof_cache``).
+
+Every engine reports **canonical counterexamples** — a pure function of
+(design, assertion, engine configuration), independent of solver history —
+which is the invariant both layers rest on.
 """
 
 from repro.formal.bmc import BmcModelChecker
-from repro.formal.checker import FormalVerifier, VerifierStatistics
+from repro.formal.checker import FormalVerifier, VerifierStatistics, build_engine
 from repro.formal.explicit import ExplicitModelChecker
+from repro.formal.parallel import FormalWorkerPool
+from repro.formal.proofcache import (
+    ProofCache,
+    canonical_assertion_key,
+    design_fingerprint,
+)
 from repro.formal.result import CheckResult, Counterexample, FormalEngineError
 from repro.formal.statespace import StateSpace
 
@@ -35,6 +57,11 @@ __all__ = [
     "ExplicitModelChecker",
     "FormalEngineError",
     "FormalVerifier",
+    "FormalWorkerPool",
+    "ProofCache",
     "StateSpace",
     "VerifierStatistics",
+    "build_engine",
+    "canonical_assertion_key",
+    "design_fingerprint",
 ]

@@ -29,15 +29,29 @@ Two execution modes share the same verdict semantics:
 * ``incremental=False``: the historical cold path — a fresh
   ``CnfBuilder`` and ``SatSolver`` per (assertion, window-start) query —
   kept as the differential-testing and benchmarking baseline.
+
+Counterexamples are **canonical** on both paths: when a violation query is
+satisfiable, the engine does not report whatever model the CDCL search
+happened to land on (which depends on learned clauses, saved phases and
+variable activities, i.e. on solver history).  It binds the free input
+bits to the lexicographically smallest satisfying assignment —
+cycle-major, then input declaration order, preferring 0 — via
+assumption-based minimisation solves.  The reported counterexample is
+therefore a pure function of (design, assertion, bound): identical between
+the incremental and cold paths, identical whichever worker of a parallel
+pool answers the query (:mod:`repro.formal.parallel`), and stable enough
+to be served from a cross-run proof cache (:mod:`repro.formal.proofcache`).
 """
 
 from __future__ import annotations
 
 import time
+from typing import Mapping
 
 from repro.assertions.assertion import Assertion, Literal
-from repro.analysis.unroll import Unroller
+from repro.analysis.unroll import Unroller, bit_variable
 from repro.boolean.cnf import CnfBuilder
+from repro.boolean.expr import BoolExpr, BVar
 from repro.boolean.incremental import IncrementalSolver, ReuseCounters
 from repro.boolean.sat import SatSolver
 from repro.formal.result import (
@@ -49,6 +63,54 @@ from repro.formal.result import (
 )
 from repro.hdl.module import Module
 from repro.hdl.synth import synthesize
+
+
+def _evaluate(expr: BoolExpr, assignment: Mapping[str, bool]) -> bool:
+    """Evaluate a hash-consed expression under a total assignment.
+
+    Iterative post-order with per-call memoisation keyed by node identity:
+    the built-in recursive ``BoolExpr.evaluate`` revisits shared subgraphs
+    (exponential on unrolled designs) and overflows the recursion limit on
+    deep ones.  Variables absent from ``assignment`` read as 0 — callers
+    pass the full input support of the expression, so this only applies
+    to don't-cares.
+    """
+    from repro.boolean.expr import BAnd, BConst, BIte, BNot, BOr, BVar, BXor
+
+    memo: dict[BoolExpr, bool] = {}
+    stack = [expr]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        if isinstance(node, BConst):
+            memo[node] = node.value
+            stack.pop()
+            continue
+        if isinstance(node, BVar):
+            memo[node] = bool(assignment.get(node.name, False))
+            stack.pop()
+            continue
+        children = node.children()
+        unresolved = [child for child in children if child not in memo]
+        if unresolved:
+            stack.extend(unresolved)
+            continue
+        stack.pop()
+        if isinstance(node, BNot):
+            memo[node] = not memo[node.operand]
+        elif isinstance(node, BAnd):
+            memo[node] = all(memo[operand] for operand in node.operands)
+        elif isinstance(node, BOr):
+            memo[node] = any(memo[operand] for operand in node.operands)
+        elif isinstance(node, BXor):
+            memo[node] = memo[node.left] != memo[node.right]
+        elif isinstance(node, BIte):
+            memo[node] = memo[node.then] if memo[node.cond] else memo[node.other]
+        else:  # pragma: no cover - future node types
+            memo[node] = node.evaluate(assignment)
+    return memo[expr]
 
 
 def _shift(assertion: Assertion, offset: int) -> Assertion:
@@ -84,6 +146,11 @@ class BmcModelChecker:
         self._unroller = Unroller(module, self._synth, cache=incremental)
         #: ``from_reset`` flag -> persistent solver context (incremental mode).
         self._contexts: dict[bool, IncrementalSolver] = {}
+        #: Expression node -> frozenset of variable names, for the canonical
+        #: counterexample extraction.  Keyed by node identity (hash-consing
+        #: makes that structural); unrolled bit functions are shared across
+        #: queries, so the walk is amortised over the engine's lifetime.
+        self._support_memo: dict[BoolExpr, frozenset[str]] = {}
 
     # ------------------------------------------------------------------
     def _context(self, from_reset: bool) -> IncrementalSolver:
@@ -144,26 +211,169 @@ class BmcModelChecker:
         for window_start in range(depth - span + 2):
             shifted = _shift(assertion, window_start)
             violation = design.assertion_violation(shifted)
+            needed = window_start + span
             if self.incremental:
                 context = self._context(True)
                 result, activation = context.solve_query(violation)
+                model = None
+                if result.satisfiable:
+                    model = self._canonical_model(
+                        context.builder, context.solver, design, needed,
+                        shifted, violation, result.model,
+                        assumptions=[activation])
                 context.retire(activation)
-                model = context.decode_model(result) if result.satisfiable else None
             else:
                 builder = CnfBuilder()
                 builder.assert_expr(violation)
                 solver = SatSolver(builder.clauses, builder.variable_count)
                 result = solver.solve()
-                model = builder.decode_model(result.model) if result.satisfiable else None
+                model = None
+                if result.satisfiable:
+                    model = self._canonical_model(builder, solver, design, needed,
+                                                  shifted, violation, result.model)
             if model is not None:
                 vectors = design.model_to_vectors(model)
-                needed = window_start + span
                 return Counterexample(
                     input_vectors=tuple(vectors[:max(needed, 1)]),
                     window_start=window_start,
                     assertion=assertion,
                 )
         return None
+
+    # ------------------------------------------------------------------
+    # canonical counterexample extraction
+    # ------------------------------------------------------------------
+    def _canonical_model(self, builder: CnfBuilder, solver: SatSolver, design,
+                         needed_cycles: int, shifted: Assertion,
+                         violation: BoolExpr, witness: Mapping[int, bool],
+                         assumptions: list[int] | None = None) -> dict[str, bool]:
+        """Lexicographically minimal satisfying input assignment.
+
+        The target is the smallest assignment of the violation's free
+        input bits (cycle-major, input declaration order, 0 < 1) that
+        still satisfies the query.  Two phases keep this cheap:
+
+        1. *Guess.*  Every satisfying assignment pins the input bits the
+           (shifted) antecedent literals name; the global minimum is
+           therefore "forced bits at their forced values, everything else
+           0" whenever that is satisfiable — one assumption solve decides
+           it, and on miner-shaped candidates it almost always is (or is
+           the witness itself, which costs nothing to confirm).
+        2. *Greedy walk* (fallback).  Keep the witness as the running
+           upper bound; 0-bits are fixed for free, each 1-bit costs one
+           assumption solve that either flips it (yielding a strictly
+           smaller witness for the rest) or proves the 1 necessary.
+
+        Bits outside the violation's support are never touched — they
+        decode to 0, the value minimisation would pick.  The result
+        depends only on the query's formula — not on learned clauses,
+        phases, activities or which witness the search happened to find
+        first — which is the property the parallel dispatcher and the
+        proof cache rely on.
+        """
+        support = self._support(violation)
+        ordered: list[tuple[str, int]] = []
+        for cycle in range(needed_cycles):
+            for name in design.input_bit_names.get(cycle, ()):
+                if name in support:
+                    variable = builder.lookup(name)
+                    if variable is not None:
+                        ordered.append((name, variable))
+        if not ordered:
+            return {}
+        fixed = list(assumptions or ())
+        values = [bool(witness.get(variable, False)) for _, variable in ordered]
+
+        forced = self._forced_input_bits(shifted)
+        guess = [forced.get(name, False) for name, _ in ordered]
+        if guess == values:
+            return dict(zip((name for name, _ in ordered), values))
+        # From reset the violation is a pure function of its input bits
+        # (cycle-0 registers are constants), and ``ordered`` covers its
+        # whole input support — so the guess is decided by direct DAG
+        # evaluation, no solver involved.
+        assignment = {name: value for (name, _), value in zip(ordered, guess)}
+        if _evaluate(violation, assignment):
+            return assignment
+
+        names = [name for name, _ in ordered]
+        for index, (name, variable) in enumerate(ordered):
+            if not values[index]:
+                fixed.append(-variable)
+                continue
+            # Try to zero this bit by *evaluating* two cheap completions of
+            # the suffix — the guess tail (mostly zeros), then the current
+            # witness tail — before paying a warm solver call; only a bit
+            # whose 1 is genuinely necessary needs the solver's refutation.
+            flipped = None
+            for tail in (guess, values):
+                candidate = dict(zip(names[:index], values[:index]))
+                candidate[name] = False
+                candidate.update(zip(names[index + 1:], tail[index + 1:]))
+                if _evaluate(violation, candidate):
+                    flipped = candidate
+                    break
+            if flipped is not None:
+                values[index] = False
+                for later in range(index + 1, len(ordered)):
+                    values[later] = flipped[names[later]]
+                fixed.append(-variable)
+                continue
+            trial = solver.solve(assumptions=fixed + [-variable])
+            if trial.satisfiable:
+                values[index] = False
+                for later in range(index + 1, len(ordered)):
+                    values[later] = bool(trial.model.get(ordered[later][1], False))
+                fixed.append(-variable)
+            else:
+                fixed.append(variable)
+        return dict(zip(names, values))
+
+    def _forced_input_bits(self, shifted: Assertion) -> dict[str, bool]:
+        """Input-bit values every model of the violation must agree on:
+        the (shifted) antecedent literals over primary data inputs."""
+        forced: dict[str, bool] = {}
+        inputs = set(self.module.data_input_names)
+        for literal in shifted.antecedent:
+            if literal.signal not in inputs:
+                continue
+            if literal.bit is not None:
+                forced[bit_variable(literal.signal, literal.bit, literal.cycle)] = \
+                    bool(literal.value)
+            else:
+                for bit in range(self.module.width_of(literal.signal)):
+                    forced[bit_variable(literal.signal, bit, literal.cycle)] = \
+                        bool((literal.value >> bit) & 1)
+        return forced
+
+    def _support(self, expr: BoolExpr) -> frozenset[str]:
+        """Variable support of an expression, memoised over the shared DAG.
+
+        Iterative post-order walk (unrolled bit functions nest far deeper
+        than the recursion limit) with results keyed by node identity, so
+        subformulas shared between window offsets and candidates are
+        walked once per engine lifetime.
+        """
+        memo = self._support_memo
+        stack = [expr]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            children = node.children()
+            unresolved = [child for child in children if child not in memo]
+            if unresolved:
+                stack.extend(unresolved)
+                continue
+            stack.pop()
+            if isinstance(node, BVar):
+                memo[node] = frozenset((node.name,))
+            elif children:
+                memo[node] = frozenset().union(*(memo[child] for child in children))
+            else:
+                memo[node] = frozenset()
+        return memo[expr]
 
     def _inductive_proof(self, assertion: Assertion) -> bool:
         """True when no arbitrary-state violation exists (sound, incomplete)."""

@@ -1,0 +1,244 @@
+"""Process-parallel formal verification service.
+
+The refinement loop's candidate checks are embarrassingly parallel — the
+paper's Section 3 loop verifies every candidate of an iteration
+independently — yet until this module existed they ran one at a time in
+one process on one solver context.  :class:`FormalWorkerPool` hosts a set
+of **persistent** verification worker processes:
+
+* Each worker builds its engine once at startup and keeps it alive for
+  the pool's whole lifetime.  For the incremental SAT engine that means
+  one long-lived :class:`~repro.boolean.incremental.IncrementalSolver`
+  context per (design, from_reset) *per worker* — encodings, learned
+  clauses and heuristic state stay warm across every batch the worker
+  ever sees, exactly like the serial engine's context does.
+* Candidates of one batch are sharded across workers by a deterministic
+  content hash of their canonical form
+  (:func:`repro.formal.proofcache.assertion_shard`).  The same candidate
+  therefore always lands on the same worker — across iterations, runs and
+  processes — so re-checks of related candidates hit warm encodings.
+* Results are merged back in submission order.  Because every engine
+  produces canonical, history-independent results (verdict by SAT
+  semantics, counterexamples canonicalised — see
+  :mod:`repro.formal.bmc`), the merged batch is identical to what the
+  serial engine would have produced, for any worker count.
+
+The pool prefers the ``fork`` start method (mirroring
+:mod:`repro.runner.pool`): workers inherit the already-elaborated module
+and the parent's hash seed, so no pickling of the design is needed and
+set/dict iteration orders match the parent exactly.  Under ``spawn`` the
+module is pickled to the workers instead; results are still canonical.
+
+Failure handling: a worker that raises reports the traceback and the
+parent raises :class:`~repro.formal.result.FormalEngineError`; a worker
+that dies mid-batch is detected by liveness polling.  Workers are daemons,
+so a leaked pool can never hang interpreter exit, but callers should
+:meth:`close` (or use the pool as a context manager) to release the
+processes promptly — :class:`repro.formal.checker.FormalVerifier` does
+this from its own ``close()``.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import traceback
+from typing import Mapping, Sequence
+
+from repro.assertions.assertion import Assertion
+from repro.formal.result import CheckResult, FormalEngineError
+from repro.formal.proofcache import assertion_shard
+from repro.hdl.module import Module
+
+#: Poll interval while waiting on a worker's response queue; each poll
+#: re-checks process liveness so a crashed worker fails fast.
+_POLL_SECONDS = 0.2
+
+
+def _multiprocessing_context():
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - Windows
+        return multiprocessing.get_context()
+
+
+def _worker_main(module: Module, engine_name: str, engine_kwargs: dict,
+                 requests, responses) -> None:
+    """Body of one verification worker: build the engine, serve requests."""
+    from repro.formal.checker import build_engine
+
+    try:
+        engine = build_engine(module, engine_name, **engine_kwargs)
+    except Exception:  # noqa: BLE001 - reported to the parent
+        responses.put(("fatal", traceback.format_exc(limit=8)))
+        return
+    while True:
+        kind, payload = requests.get()
+        if kind == "stop":
+            return
+        if kind == "stats":
+            reuse_stats = getattr(engine, "reuse_stats", None)
+            responses.put(("stats", reuse_stats() if reuse_stats else {}))
+            continue
+        try:
+            results = [(sequence, engine.check(assertion))
+                       for sequence, assertion in payload]
+        except Exception:  # noqa: BLE001 - reported to the parent
+            responses.put(("error", traceback.format_exc(limit=8)))
+            continue
+        responses.put(("results", results))
+
+
+class FormalWorkerPool:
+    """A pool of persistent model-checking worker processes for one design."""
+
+    def __init__(self, module: Module, engine_name: str,
+                 engine_kwargs: Mapping | None = None, workers: int = 2):
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.module = module
+        self.engine_name = engine_name
+        self.engine_kwargs = dict(engine_kwargs or {})
+        self.workers = workers
+        self.batches = 0
+        self.dispatched = 0
+        self._processes: list | None = None
+        self._requests: list = []
+        self._responses: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        return self._processes is not None
+
+    def ensure_started(self) -> None:
+        """Spawn the worker processes (idempotent; restarts after close)."""
+        if self._processes is not None:
+            return
+        context = _multiprocessing_context()
+        processes, requests, responses = [], [], []
+        for index in range(self.workers):
+            request_queue = context.Queue()
+            response_queue = context.Queue()
+            process = context.Process(
+                target=_worker_main,
+                args=(self.module, self.engine_name, self.engine_kwargs,
+                      request_queue, response_queue),
+                name=f"formal-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            processes.append(process)
+            requests.append(request_queue)
+            responses.append(response_queue)
+        self._processes, self._requests, self._responses = \
+            processes, requests, responses
+
+    # ------------------------------------------------------------------
+    def check_batch(self, indexed: Sequence[tuple[int, Assertion]]
+                    ) -> dict[int, CheckResult]:
+        """Check a batch of (sequence, assertion) pairs; results by sequence.
+
+        Sharding is a pure function of each assertion's canonical form, so
+        the partition — and with canonical engines, every result — is
+        independent of scheduling.  One request/response round trip per
+        participating worker per batch keeps IPC overhead at
+        O(workers + assertions).
+        """
+        if not indexed:
+            return {}
+        self.ensure_started()
+        shards: dict[int, list[tuple[int, Assertion]]] = {}
+        for sequence, assertion in indexed:
+            worker = assertion_shard(assertion, self.workers)
+            shards.setdefault(worker, []).append((sequence, assertion))
+        for worker in sorted(shards):
+            self._requests[worker].put(("check", shards[worker]))
+        self.batches += 1
+        self.dispatched += len(indexed)
+        results: dict[int, CheckResult] = {}
+        for worker in sorted(shards):
+            try:
+                kind, payload = self._receive(worker)
+            except FormalEngineError:
+                self.close()
+                raise
+            if kind != "results":
+                # Other workers of this batch may still have responses
+                # queued; tear the pool down so a retry starts from clean
+                # queues instead of merging stale results by sequence id.
+                self.close()
+                raise FormalEngineError(
+                    f"formal worker {worker} failed:\n{payload}")
+            for sequence, result in payload:
+                results[sequence] = result
+        return results
+
+    def _receive(self, worker: int):
+        process = self._processes[worker]
+        while True:
+            try:
+                return self._responses[worker].get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                if not process.is_alive():
+                    # One last non-blocking drain: the worker may have
+                    # posted its message just before exiting.
+                    try:
+                        return self._responses[worker].get_nowait()
+                    except queue_module.Empty:
+                        raise FormalEngineError(
+                            f"formal worker {worker} died "
+                            f"(exit code {process.exitcode})") from None
+
+    # ------------------------------------------------------------------
+    def reuse_stats(self) -> dict[str, int]:
+        """Engine reuse counters summed over every worker, plus pool totals."""
+        merged: dict[str, int] = {}
+        if self._processes is not None:
+            for worker in range(self.workers):
+                if not self._processes[worker].is_alive():
+                    continue
+                self._requests[worker].put(("stats", None))
+                kind, payload = self._receive(worker)
+                if kind != "stats":
+                    raise FormalEngineError(
+                        f"formal worker {worker} failed:\n{payload}")
+                for key, value in payload.items():
+                    merged[key] = merged.get(key, 0) + int(value)
+        merged["formal_workers"] = self.workers
+        merged["dispatched"] = self.dispatched
+        merged["dispatch_batches"] = self.batches
+        return merged
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker (idempotent); the pool may be started again."""
+        if self._processes is None:
+            return
+        processes, self._processes = self._processes, None
+        for worker, process in enumerate(processes):
+            if process.is_alive():
+                try:
+                    self._requests[worker].put(("stop", None))
+                except (ValueError, OSError):  # pragma: no cover - queue closed
+                    pass
+        for process in processes:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        self._requests, self._responses = [], []
+
+    def __enter__(self) -> "FormalWorkerPool":
+        self.ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass

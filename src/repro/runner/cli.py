@@ -71,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="formal back end for candidate verification "
                           "(bmc = incremental SAT with a persistent solver "
                           "context; bmc-fresh = cold solver per query)")
+    run.add_argument("--formal-workers", dest="formal_workers", type=int,
+                     default=1, metavar="N",
+                     help="persistent formal verification worker processes "
+                          "per closure run (default 1 = in-process; results "
+                          "are identical for every worker count)")
+    run.add_argument("--proof-cache", dest="proof_cache", nargs="?",
+                     const=True, default=False, metavar="PATH",
+                     help="reuse formal verdicts across jobs and runs, "
+                          "persisted to PATH (a JSON file; given bare, "
+                          "defaults to <artifacts>/proofcache.json)")
     run.add_argument("--lanes", type=int, default=64,
                      help="lanes per batched-simulation pass (default 64)")
     run.add_argument("--mine-engine", dest="mine_engine",
@@ -121,8 +131,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(exc.args[0], file=sys.stderr)
         return 2
 
+    proof_cache = args.proof_cache
+    if proof_cache is True:
+        # Bare --proof-cache: persist under the artifacts root so every
+        # run (and every job of a sweep) shares one verdict store.
+        proof_cache = str(Path(args.artifacts) / "proofcache.json")
     options = RunOptions(
         engine=args.engine, lanes=args.lanes, formal_engine=args.formal_engine,
+        formal_workers=args.formal_workers, proof_cache=proof_cache,
         mine_engine=args.mine_engine,
         smoke=args.smoke,
         designs=args.designs, seeds=args.seeds, seed_cycles=args.seed_cycles,

@@ -59,7 +59,13 @@ class RunOptions:
     every driver (see ``GoldMineConfig.sim_engine``); ``formal_engine``
     selects the formal back end the refinement loop verifies candidates
     with (``explicit``, ``bmc`` — the incremental SAT path, ``bmc-fresh``,
-    ``bdd``); ``mine_engine`` selects the A-Miner back end (``rowwise``
+    ``bdd``); ``formal_workers`` fans each run's candidate batches out to
+    that many persistent verification worker processes
+    (``GoldMineConfig.formal_workers`` — results are identical for every
+    count, see :mod:`repro.formal.parallel`); ``proof_cache`` enables
+    cross-run verdict reuse (``True`` for in-memory sharing, a path to
+    persist under ``artifacts/``, see :mod:`repro.formal.proofcache`);
+    ``mine_engine`` selects the A-Miner back end (``rowwise``
     or the bit-parallel ``columnar``, see ``GoldMineConfig.mine_engine``);
     ``smoke`` shrinks workloads to seconds for CI and doc
     checks; ``designs``/``seeds`` restrict or parameterize the job matrix
@@ -70,6 +76,8 @@ class RunOptions:
     engine: str = "scalar"
     lanes: int = 64
     formal_engine: str = "explicit"
+    formal_workers: int = 1
+    proof_cache: bool | str = False
     mine_engine: str = "rowwise"
     smoke: bool = False
     designs: tuple[str, ...] | None = None
@@ -89,6 +97,8 @@ class RunOptions:
             "engine": self.engine,
             "lanes": self.lanes,
             "formal_engine": self.formal_engine,
+            "formal_workers": self.formal_workers,
+            "proof_cache": self.proof_cache,
             "mine_engine": self.mine_engine,
             "smoke": self.smoke,
             "designs": list(self.designs) if self.designs is not None else None,

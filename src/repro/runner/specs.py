@@ -29,6 +29,8 @@ def _iterations(options: RunOptions, full: int, smoke: int) -> int:
 def _engine_params(options: RunOptions) -> dict:
     return {"sim_engine": options.engine, "sim_lanes": options.lanes,
             "formal_engine": options.formal_engine,
+            "formal_workers": options.formal_workers,
+            "proof_cache": options.proof_cache,
             "mine_engine": options.mine_engine}
 
 
@@ -397,7 +399,9 @@ def _sweep_execute(params: Mapping) -> tuple[dict, int]:
                             sim_engine=params["sim_engine"],
                             sim_lanes=params["sim_lanes"],
                             engine=params.get("formal_engine", "explicit"),
-                            mine_engine=params.get("mine_engine", "rowwise"))
+                            mine_engine=params.get("mine_engine", "rowwise"),
+                            formal_workers=params.get("formal_workers", 1),
+                            formal_proof_cache=params.get("proof_cache", False))
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                               config=config)
     seed_cycles = params["seed_cycles"]

@@ -160,3 +160,53 @@ class TestResults:
         result = closure.run(RandomStimulus(12, seed=2))
         assert {"count[0]", "count[1]", "count[2]"} == set(result.true_assertions)
         assert result.converged
+
+    def test_no_hidden_counterexample_state_left_behind(self, arbiter2_seed):
+        """Counterexamples flow through return values now; the closure must
+        not grow a stale per-iteration attribute."""
+        module, closure, result = run_arbiter(arbiter2_seed)
+        assert not hasattr(closure, "_latest_counterexamples")
+
+
+class TestCounterexampleDedup:
+    """Key stability of the per-iteration counterexample dedup."""
+
+    @staticmethod
+    def make_counterexample(vectors, value=1):
+        from repro.assertions.assertion import Assertion, Literal
+        from repro.formal.result import Counterexample
+
+        assertion = Assertion((Literal("req0", 1, 0),), Literal("gnt0", value, 1),
+                              window=1)
+        return Counterexample(input_vectors=tuple(vectors), window_start=0,
+                              assertion=assertion)
+
+    def test_identical_sequences_collapse_to_first_witness(self):
+        vectors = [{"req0": 1, "req1": 0}, {"req0": 0, "req1": 1}]
+        first = self.make_counterexample(vectors, value=1)
+        second = self.make_counterexample(vectors, value=0)
+        pending = CoverageClosure._pending_counterexamples([first, second])
+        assert pending == [first]
+
+    def test_key_ignores_vector_insertion_order(self):
+        forward = self.make_counterexample([{"req0": 1, "req1": 0}])
+        backward = self.make_counterexample([{"req1": 0, "req0": 1}])
+        assert CoverageClosure._pending_counterexamples([forward, backward]) \
+            == [forward]
+
+    def test_different_sequences_all_survive_in_order(self):
+        first = self.make_counterexample([{"req0": 1, "req1": 0}])
+        second = self.make_counterexample([{"req0": 0, "req1": 1}])
+        third = self.make_counterexample([{"req0": 1, "req1": 1}])
+        pending = CoverageClosure._pending_counterexamples([first, second, third])
+        assert pending == [first, second, third]
+
+    def test_longer_sequences_do_not_collide_with_prefixes(self):
+        short = self.make_counterexample([{"req0": 1, "req1": 0}])
+        longer = self.make_counterexample([{"req0": 1, "req1": 0},
+                                           {"req0": 1, "req1": 0}])
+        assert CoverageClosure._pending_counterexamples([short, longer]) \
+            == [short, longer]
+
+    def test_empty_iteration_yields_no_pending(self):
+        assert CoverageClosure._pending_counterexamples([]) == []

@@ -92,6 +92,15 @@ class TestRegression:
         result = self._arbiter_suite(arbiter2_module)
         faults = [StuckAtFault("gnt0", 1)]
         formal = run_fault_campaign(arbiter2_module, result.all_true_assertions, faults)
+        # A parallel campaign must agree detection-for-detection with the
+        # serial one (the worker pool and batch path are pure accelerators).
+        parallel = run_fault_campaign(
+            arbiter2_module, result.all_true_assertions, faults,
+            config=GoldMineConfig(formal_workers=2))
+        assert [sorted(a.describe() for a in d.detecting_assertions)
+                for d in parallel.detections] == \
+            [sorted(a.describe() for a in d.detecting_assertions)
+             for d in formal.detections]
         simulated = run_fault_campaign(arbiter2_module, result.all_true_assertions, faults,
                                        mode="simulation", test_suite=result.test_suite)
         assert formal.detections[0].detected

@@ -57,7 +57,9 @@ def replay_violates(module, assertion, counterexample):
 class TestIncrementalVsFresh:
     @pytest.mark.parametrize("fixture", ["arbiter2_module", "counter_module",
                                          "handshake_module", "b01_module"])
-    def test_verdicts_and_windows_identical(self, fixture, request):
+    def test_verdicts_and_counterexamples_identical(self, fixture, request):
+        """Canonical counterexamples make the two paths agree on the full
+        witness — input vectors included — not just verdict and window."""
         module = request.getfixturevalue(fixture)
         assertions = random_assertions(module, 12, seed=23)
         fresh = BmcModelChecker(module, bound=6, incremental=False)
@@ -69,7 +71,26 @@ class TestIncrementalVsFresh:
             if expected.counterexample is not None:
                 assert (got.counterexample.window_start
                         == expected.counterexample.window_start)
+                assert (got.counterexample.input_vectors
+                        == expected.counterexample.input_vectors)
                 assert replay_violates(module, assertion, got.counterexample)
+
+    def test_counterexamples_are_history_independent(self, arbiter2_module):
+        """The canonical witness is a pure function of (design, assertion,
+        bound): an engine warmed on an unrelated batch reports the same
+        vectors as a cold one — the invariant the parallel dispatcher and
+        the proof cache are built on."""
+        assertions = random_assertions(arbiter2_module, 10, seed=31)
+        cold = BmcModelChecker(arbiter2_module, bound=6)
+        warm = BmcModelChecker(arbiter2_module, bound=6)
+        warm.check_all(random_assertions(arbiter2_module, 8, seed=7))
+        for assertion in assertions:
+            first = cold.check(assertion)
+            second = warm.check(assertion)
+            assert first.verdict is second.verdict
+            if first.counterexample is not None:
+                assert (first.counterexample.input_vectors
+                        == second.counterexample.input_vectors)
 
     def test_check_order_does_not_change_verdicts(self, arbiter2_module):
         """The persistent context is query-order independent: clauses from

@@ -1,0 +1,164 @@
+"""Unit tests for the proof cache: keys, persistence, sharing, reuse."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.assertions.assertion import Assertion, Literal, Verdict
+from repro.designs import info as design_info
+from repro.formal.proofcache import (
+    CACHE_SCHEMA_VERSION,
+    ProofCache,
+    canonical_assertion_key,
+    design_fingerprint,
+)
+from repro.formal.result import Counterexample, false_result, true_result
+
+
+@pytest.fixture(autouse=True)
+def _isolated_shared_cache():
+    ProofCache.reset_shared()
+    yield
+    ProofCache.reset_shared()
+
+
+def sample_assertion(name: str = "", value: int = 1) -> Assertion:
+    return Assertion(
+        (Literal("req0", 1, 0), Literal("req1", 0, 1)),
+        Literal("gnt0", value, 2), window=2, name=name,
+    )
+
+
+class TestCanonicalKeys:
+    def test_key_ignores_metadata(self):
+        plain = sample_assertion()
+        named = sample_assertion(name="gnt0_i3_a7")
+        richer = Assertion(plain.antecedent, plain.consequent, plain.window,
+                           "x", confidence=0.5, support=99)
+        assert canonical_assertion_key(plain) == canonical_assertion_key(named)
+        assert canonical_assertion_key(plain) == canonical_assertion_key(richer)
+
+    def test_key_is_order_insensitive(self):
+        forward = Assertion((Literal("a", 1, 0), Literal("b", 0, 0)),
+                            Literal("z", 1, 0), window=1)
+        backward = Assertion((Literal("b", 0, 0), Literal("a", 1, 0)),
+                             Literal("z", 1, 0), window=1)
+        assert canonical_assertion_key(forward) == canonical_assertion_key(backward)
+
+    def test_key_separates_different_assertions(self):
+        assert canonical_assertion_key(sample_assertion(value=1)) \
+            != canonical_assertion_key(sample_assertion(value=0))
+
+    def test_fingerprint_stable_across_builds(self):
+        meta = design_info("arbiter2")
+        assert design_fingerprint(meta.build()) == design_fingerprint(meta.build())
+
+    def test_fingerprint_separates_designs(self):
+        fingerprints = {design_fingerprint(design_info(name).build())
+                        for name in ("arbiter2", "arbiter4", "b01", "cex_small")}
+        assert len(fingerprints) == 4
+
+
+class TestStoreAndLookup:
+    FP = "f" * 24
+    ENGINE = "bmc:bound=6"
+
+    def test_roundtrip_true_verdict(self):
+        cache = ProofCache()
+        assertion = sample_assertion()
+        cache.store(self.FP, self.ENGINE, assertion,
+                    true_result(assertion, "bmc", 1.25, bound=6, proof="induction"))
+        hit = cache.lookup(self.FP, self.ENGINE, assertion.with_name("renamed"))
+        assert hit is not None and hit.verdict is Verdict.TRUE
+        assert hit.seconds == 0.0  # timing is never cached
+        assert hit.details["proof"] == "induction"
+        assert hit.assertion.name == "renamed"  # rebound to the query
+
+    def test_roundtrip_false_verdict_with_counterexample(self):
+        cache = ProofCache()
+        assertion = sample_assertion()
+        counterexample = Counterexample(
+            input_vectors=({"req0": 1, "req1": 0}, {"req0": 0, "req1": 1}),
+            window_start=0, assertion=assertion)
+        cache.store(self.FP, self.ENGINE, assertion,
+                    false_result(assertion, counterexample, "bmc", 0.5))
+        query = sample_assertion(name="later_iteration")
+        hit = cache.lookup(self.FP, self.ENGINE, query)
+        assert hit.verdict is Verdict.FALSE
+        assert hit.counterexample.input_vectors == counterexample.input_vectors
+        assert hit.counterexample.window_start == 0
+        assert hit.counterexample.assertion is query
+
+    def test_misses_on_other_design_engine_or_assertion(self):
+        cache = ProofCache()
+        assertion = sample_assertion()
+        cache.store(self.FP, self.ENGINE, assertion,
+                    true_result(assertion, "bmc"))
+        assert cache.lookup("0" * 24, self.ENGINE, assertion) is None
+        assert cache.lookup(self.FP, "bmc:bound=12", assertion) is None
+        assert cache.lookup(self.FP, self.ENGINE, sample_assertion(value=0)) is None
+        assert cache.stats()["proof_cache_misses"] == 3
+
+    def test_first_store_wins(self):
+        cache = ProofCache()
+        assertion = sample_assertion()
+        cache.store(self.FP, self.ENGINE, assertion, true_result(assertion, "bmc"))
+        cache.store(self.FP, self.ENGINE, assertion.with_name("again"),
+                    true_result(assertion, "bmc"))
+        assert cache.stores == 1 and len(cache) == 1
+
+
+class TestPersistence:
+    def test_flush_and_reload(self, tmp_path):
+        path = tmp_path / "proofs.json"
+        assertion = sample_assertion()
+        cache = ProofCache(path)
+        cache.store("a" * 24, "explicit:x", assertion, true_result(assertion, "explicit"))
+        cache.flush()
+        reloaded = ProofCache(path)
+        assert reloaded.lookup("a" * 24, "explicit:x", assertion).verdict is Verdict.TRUE
+
+    def test_flush_merges_with_concurrent_writer(self, tmp_path):
+        path = tmp_path / "proofs.json"
+        first, second = ProofCache(path), ProofCache(path)
+        a1, a2 = sample_assertion(value=1), sample_assertion(value=0)
+        first.store("a" * 24, "e", a1, true_result(a1, "explicit"))
+        second.store("a" * 24, "e", a2, true_result(a2, "explicit"))
+        first.flush()
+        second.flush()  # must not clobber the first writer's entry
+        merged = ProofCache(path)
+        assert merged.lookup("a" * 24, "e", a1) is not None
+        assert merged.lookup("a" * 24, "e", a2) is not None
+
+    def test_corrupt_or_mismatched_files_are_ignored(self, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert len(ProofCache(garbage)) == 0
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps(
+            {"version": CACHE_SCHEMA_VERSION + 1, "entries": {"k": {}}}))
+        assert len(ProofCache(stale)) == 0
+
+    def test_in_memory_flush_is_a_noop(self):
+        cache = ProofCache()
+        assertion = sample_assertion()
+        cache.store("a" * 24, "e", assertion, true_result(assertion, "explicit"))
+        cache.flush()  # must not raise, nothing to write
+
+
+class TestResolve:
+    def test_disabled_settings(self):
+        assert ProofCache.resolve(False) is None
+        assert ProofCache.resolve(None) is None
+        assert ProofCache.resolve("") is None
+
+    def test_true_shares_one_in_memory_instance(self):
+        assert ProofCache.resolve(True) is ProofCache.resolve(True)
+        assert ProofCache.resolve(True).path is None
+
+    def test_paths_share_per_file_instances(self, tmp_path):
+        first = ProofCache.resolve(tmp_path / "a.json")
+        assert first is ProofCache.resolve(str(tmp_path / "a.json"))
+        assert first is not ProofCache.resolve(tmp_path / "b.json")
