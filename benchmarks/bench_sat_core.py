@@ -1,0 +1,281 @@
+"""Clause-arena CDCL core vs the frozen legacy solver, on solver-only
+workloads shaped like the formal layer's actual queries.
+
+The end-to-end BMC benchmark (``bench_formal_incremental.py``) is
+Amdahl-capped: roughly half its time is Tseitin encoding, which both
+solvers share.  This benchmark isolates the solver by *recording* the
+exact (construct / add_clause / solve) operation stream a
+:class:`~repro.formal.bmc.BmcModelChecker` run issues against its
+incremental contexts, then *replaying* that stream against the arena
+solver and the legacy baseline under ``time.process_time`` — identical
+inputs, interleaved runs, min-of-N, so the comparison is solver-only and
+robust to this machine's wall-clock noise.
+
+Three workloads per design:
+
+* ``bmc_trace`` — faithful replay of the recorded BMC op stream
+  (intake-heavy: encodings dominate, solves are easy).
+* ``assumption_stress`` — the recorded clause database, then hundreds of
+  randomized assumption solves against it warm.  This is the
+  activation-literal query shape the incremental protocol produces, and
+  the propagation-bound regime the arena core is built for: persistent
+  root-level assignments mean a stable database re-propagates nothing.
+* ``pigeonhole`` — conflict-heavy UNSAT search, reported per-conflict
+  because the blocker optimisation legitimately changes search
+  trajectories (conflict counts differ; verdicts cannot).
+
+Shape requirements:
+
+* both solvers agree on **every verdict of every workload** (the
+  divergence gate; CI smoke runs it on every push);
+* at full scale the arena core is at least ``GATE_SPEEDUP`` (1.5x)
+  faster on the propagation-bound ``assumption_stress`` workload on at
+  least ``GATE_MIN_DESIGNS`` designs.
+
+Set ``SAT_BENCH_SMOKE=1`` for the seconds-scale CI configuration; timing
+is reported but the speedup gate only runs at full scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import time
+
+from _utils import run_once, write_bench_json
+
+from bench_formal_incremental import miner_shaped_assertions
+from repro.boolean.legacy_sat import LegacySatSolver
+from repro.boolean.sat import SatSolver
+from repro.designs import load
+from repro.experiments.common import format_table
+from repro.formal.bmc import BmcModelChecker
+
+SMOKE = os.environ.get("SAT_BENCH_SMOKE", "") not in ("", "0")
+
+DESIGNS = ("arbiter2", "b01") if SMOKE else ("arbiter2", "arbiter4", "b01", "b09")
+ASSERTION_COUNT = 6 if SMOKE else 20
+BOUND = 3 if SMOKE else 10
+STRESS_ROUNDS = 40 if SMOKE else 300
+STRESS_WIDTH = 4
+REPS = 3 if SMOKE else 7
+PIGEONHOLE = (5, 4) if SMOKE else (7, 6)
+
+#: Full-scale acceptance gate: arena >= 1.5x on the propagation-bound
+#: assumption-stress workload, on at least two designs.
+GATE_SPEEDUP = 1.5
+GATE_MIN_DESIGNS = 2
+
+
+# ---------------------------------------------------------------------------
+# trace recording
+# ---------------------------------------------------------------------------
+def _recording_solver(trace):
+    class RecordingSolver(SatSolver):
+        def __init__(self, *args, **kwargs):
+            trace.append(("new", kwargs.get("max_learned", 4000)))
+            super().__init__(*args, **kwargs)
+
+        def add_clause(self, literals):
+            trace.append(("add", tuple(literals)))
+            super().add_clause(literals)
+
+        def solve(self, assumptions=()):
+            trace.append(("solve", tuple(assumptions)))
+            return super().solve(assumptions)
+
+    return RecordingSolver
+
+
+def record_bmc_trace(design_name):
+    """The exact solver op stream of a BMC batch over miner-shaped
+    assertions (the PR-3 benchmark workload) on ``design_name``."""
+    module = load(design_name)
+    trace: list[tuple] = []
+    checker = BmcModelChecker(module, bound=BOUND,
+                              solver_cls=_recording_solver(trace))
+    for assertion in miner_shaped_assertions(module, ASSERTION_COUNT):
+        checker.check(assertion)
+    return trace
+
+
+def replay(trace, solver_cls):
+    solver = None
+    verdicts = []
+    start = time.process_time()
+    for op, payload in trace:
+        if op == "new":
+            solver = solver_cls(max_learned=payload)
+        elif op == "add":
+            solver.add_clause(payload)
+        else:
+            verdicts.append(solver.solve(payload).satisfiable)
+    return time.process_time() - start, verdicts, solver
+
+
+def assumption_stress(solver_cls, clauses, nvars, seed=11):
+    """Warm-context randomized assumption batch over a stable database."""
+    rng = random.Random(seed)
+    solver = solver_cls()
+    for clause in clauses:
+        solver.add_clause(clause)
+    verdicts = []
+    start = time.process_time()
+    for _ in range(STRESS_ROUNDS):
+        assumptions = [value * rng.choice((1, -1)) for value in
+                       rng.sample(range(1, nvars + 1), STRESS_WIDTH)]
+        verdicts.append(solver.solve(assumptions).satisfiable)
+    return time.process_time() - start, verdicts, solver
+
+
+def pigeonhole_clauses(pigeons, holes):
+    def var(pigeon, hole):
+        return pigeon * holes + hole + 1
+    clauses = [tuple(var(p, h) for h in range(holes)) for p in range(pigeons)]
+    for h in range(holes):
+        for p1, p2 in itertools.combinations(range(pigeons), 2):
+            clauses.append((-var(p1, h), -var(p2, h)))
+    return clauses
+
+
+def _interleaved_min(workload):
+    """Run ``workload(solver_cls)`` REPS times per solver, interleaved, and
+    keep each solver's fastest run (min-of-N under process_time filters
+    this machine's scheduling noise; interleaving removes drift bias)."""
+    arena_seconds, legacy_seconds = [], []
+    arena_verdicts = legacy_verdicts = None
+    arena_solver = None
+    for _ in range(REPS):
+        seconds, arena_verdicts, arena_solver = workload(SatSolver)
+        arena_seconds.append(seconds)
+        seconds, legacy_verdicts, _ = workload(LegacySatSolver)
+        legacy_seconds.append(seconds)
+    return (min(arena_seconds), min(legacy_seconds),
+            arena_verdicts, legacy_verdicts, arena_solver)
+
+
+# ---------------------------------------------------------------------------
+# the benchmark
+# ---------------------------------------------------------------------------
+def test_sat_core_speedup(benchmark, print_section):
+    # Harness-timed sample: one warm assumption-stress batch.
+    sample_trace = record_bmc_trace(DESIGNS[0])
+    sample_clauses = [p for op, p in sample_trace if op == "add"]
+    sample_nvars = max(abs(l) for c in sample_clauses for l in c)
+    run_once(benchmark,
+             lambda: assumption_stress(SatSolver, sample_clauses, sample_nvars))
+
+    headers = ["design", "workload", "ops", "arena s", "legacy s",
+               "speedup", "divergences"]
+    table_rows = []
+    json_rows = []
+    divergences_total = 0
+    gate_speedups = {}
+
+    for design_name in DESIGNS:
+        trace = record_bmc_trace(design_name)
+        clauses = [payload for op, payload in trace if op == "add"]
+        nvars = max(abs(literal) for clause in clauses for literal in clause)
+
+        workloads = {
+            "bmc_trace": lambda cls, t=trace: replay(t, cls),
+            "assumption_stress":
+                lambda cls, c=clauses, n=nvars: assumption_stress(cls, c, n),
+        }
+        for workload_name, workload in workloads.items():
+            arena_s, legacy_s, arena_v, legacy_v, solver = \
+                _interleaved_min(workload)
+            divergences = sum(1 for a, b in zip(arena_v, legacy_v) if a != b)
+            divergences_total += divergences
+            speedup = legacy_s / arena_s if arena_s else 0.0
+            if workload_name == "assumption_stress":
+                gate_speedups[design_name] = speedup
+            ops = (len(trace) if workload_name == "bmc_trace"
+                   else STRESS_ROUNDS)
+            table_rows.append([design_name, workload_name, ops,
+                               f"{arena_s:.4f}", f"{legacy_s:.4f}",
+                               f"{speedup:.2f}x", divergences])
+            json_rows.append({
+                "design": design_name,
+                "workload": workload_name,
+                "operations": ops,
+                "solves": len(arena_v),
+                "arena_seconds": arena_s,
+                "legacy_seconds": legacy_s,
+                "speedup": speedup,
+                "divergences": divergences,
+                "arena_counters": solver.stats_total(),
+            })
+
+    # Conflict-heavy combinatorial search: report per-conflict cost (the
+    # trajectory-invariant metric) alongside wall clock.
+    php = pigeonhole_clauses(*PIGEONHOLE)
+    php_vars = PIGEONHOLE[0] * PIGEONHOLE[1]
+
+    def php_workload(solver_cls):
+        start = time.process_time()
+        result = solver_cls(php, php_vars).solve()
+        return time.process_time() - start, [result.satisfiable], None
+
+    arena_s, legacy_s, arena_v, legacy_v, solver = _interleaved_min(php_workload)
+    php_solver = SatSolver(php, php_vars)
+    php_result = php_solver.solve()
+    legacy_php = LegacySatSolver(php, php_vars)
+    legacy_result = legacy_php.solve()
+    php_divergence = int(php_result.satisfiable != legacy_result.satisfiable)
+    divergences_total += php_divergence
+    table_rows.append([f"php{PIGEONHOLE}", "pigeonhole", 1,
+                       f"{arena_s:.4f}", f"{legacy_s:.4f}",
+                       f"{legacy_s / arena_s:.2f}x" if arena_s else "-",
+                       php_divergence])
+    json_rows.append({
+        "design": f"php{PIGEONHOLE}",
+        "workload": "pigeonhole",
+        "operations": 1,
+        "solves": 1,
+        "arena_seconds": arena_s,
+        "legacy_seconds": legacy_s,
+        "speedup": legacy_s / arena_s if arena_s else 0.0,
+        "divergences": php_divergence,
+        "arena_conflicts": php_result.conflicts,
+        "legacy_conflicts": legacy_result.conflicts,
+        "arena_seconds_per_conflict":
+            arena_s / php_result.conflicts if php_result.conflicts else 0.0,
+        "legacy_seconds_per_conflict":
+            legacy_s / legacy_result.conflicts if legacy_result.conflicts else 0.0,
+        "arena_counters": php_solver.stats_total(),
+    })
+
+    payload = {
+        "benchmark": "sat_core",
+        "smoke": SMOKE,
+        "config": {
+            "designs": list(DESIGNS),
+            "assertion_count": ASSERTION_COUNT,
+            "bound": BOUND,
+            "stress_rounds": STRESS_ROUNDS,
+            "reps": REPS,
+            "pigeonhole": list(PIGEONHOLE),
+        },
+        "gate": {"workload": "assumption_stress",
+                 "min_designs": GATE_MIN_DESIGNS, "speedup": GATE_SPEEDUP},
+        "rows": json_rows,
+    }
+    artifact = write_bench_json("sat_core", payload)
+
+    print_section(
+        "SAT core — clause-arena CDCL vs legacy solver (solver-only replay)",
+        format_table(headers, table_rows) + f"\nartifact: {artifact}")
+
+    # Contract 1 (always, including CI smoke): verdict identity on every
+    # workload.  Search trajectories may differ; answers may not.
+    assert divergences_total == 0, "arena solver diverged from legacy"
+
+    # Contract 2 (full scale only): the propagation-bound speedup.
+    if not SMOKE:
+        fast_designs = [name for name, speedup in gate_speedups.items()
+                        if speedup >= GATE_SPEEDUP]
+        assert len(fast_designs) >= GATE_MIN_DESIGNS, (
+            f"expected >= {GATE_SPEEDUP}x assumption-stress speedup on "
+            f">= {GATE_MIN_DESIGNS} designs, got {gate_speedups}")

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Towards Coverage Closure: Using GoldMine Assertions "
         "for Generating Design Validation Stimulus' (Liu et al., DATE 2011)"

@@ -6,8 +6,13 @@
   Boolean functions.
 * :mod:`repro.boolean.cnf` — clause databases and Tseitin transformation.
 * :mod:`repro.boolean.sat` — a CDCL SAT solver built for persistent reuse
-  (watched literals, VSIDS, first-UIP learning, phase saving, restarts,
-  learned-clause database reduction).
+  on a flat clause arena with blocker-literal watch lists (VSIDS,
+  first-UIP learning, phase saving, restarts, compacting learned-clause
+  database reduction, per-solve instrumentation).
+* :mod:`repro.boolean.legacy_sat` — the pre-arena object-graph solver,
+  retained as the differential-testing and benchmarking baseline.
+* :mod:`repro.boolean.certify` — reverse-unit-propagation checking of
+  the solver's learned-clause derivations (UNSAT certificates).
 * :mod:`repro.boolean.incremental` — a persistent CnfBuilder/SatSolver
   pair with activation-literal queries, the substrate of the incremental
   BMC engine.
@@ -16,8 +21,10 @@
 """
 
 from repro.boolean.bdd import BDD
-from repro.boolean.cnf import CnfBuilder, Clause
+from repro.boolean.certify import CertificateError, check_rup_proof, rup_implied
+from repro.boolean.cnf import CnfBuilder, Clause, canonical_clause
 from repro.boolean.incremental import IncrementalSolver, ReuseCounters
+from repro.boolean.legacy_sat import LegacySatSolver
 from repro.boolean.expr import (
     FALSE,
     TRUE,
@@ -31,25 +38,31 @@ from repro.boolean.expr import (
     var,
     xor_,
 )
-from repro.boolean.sat import SatResult, SatSolver, solve_expr
+from repro.boolean.sat import SatResult, SatSolver, solve_clauses, solve_expr
 
 __all__ = [
     "BDD",
     "BoolExpr",
+    "CertificateError",
     "Clause",
     "CnfBuilder",
     "FALSE",
     "IncrementalSolver",
+    "LegacySatSolver",
     "ReuseCounters",
     "SatResult",
     "SatSolver",
     "TRUE",
     "and_",
+    "canonical_clause",
+    "check_rup_proof",
     "iff",
     "implies",
     "ite",
     "not_",
     "or_",
+    "rup_implied",
+    "solve_clauses",
     "solve_expr",
     "var",
     "xor_",

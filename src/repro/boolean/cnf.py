@@ -25,6 +25,62 @@ from repro.boolean.expr import (
 Clause = tuple[int, ...]
 
 
+def canonical_clause(literals: Iterable[int]) -> Clause | None:
+    """Canonicalise a clause at the solver/arena boundary.
+
+    Duplicate literals collapse (first occurrence wins the position),
+    tautologies — a literal together with its negation — return ``None``,
+    and literal 0 (the DIMACS terminator, meaningless as a literal) is
+    rejected.  The empty clause canonicalises to ``()``; what that means
+    (trivial unsatisfiability) is the caller's decision, since
+    :class:`CnfBuilder` treats it as an error while the solver records
+    it as an unsatisfiable database.
+
+    Every clause enters :class:`repro.boolean.sat.SatSolver` through this
+    single function, so watch setup downstream can assume at least two
+    distinct, non-complementary literals for any clause of length >= 2.
+    """
+    if not isinstance(literals, tuple):
+        literals = tuple(literals)
+    # Hand-rolled paths for the Tseitin-dominant sizes: no set building.
+    size = len(literals)
+    if size == 2:
+        a, b = literals
+        if a == 0 or b == 0:
+            raise ValueError("literal 0 is not allowed")
+        if a == b:
+            return (a,)
+        if a == -b:
+            return None  # tautology
+        return literals
+    if size == 3:
+        a, b, c = literals
+        if a == 0 or b == 0 or c == 0:
+            raise ValueError("literal 0 is not allowed")
+        if a == -b or a == -c or b == -c:
+            return None  # tautology
+        if a == b:
+            return (a,) if b == c else (a, c)
+        if a == c or b == c:
+            return (a, b)
+        return literals
+    if size == 1:
+        if literals[0] == 0:
+            raise ValueError("literal 0 is not allowed")
+        return literals
+    unique: list[int] = []
+    present: set[int] = set()
+    for literal in literals:
+        if literal == 0:
+            raise ValueError("literal 0 is not allowed")
+        if -literal in present:
+            return None  # tautology
+        if literal not in present:
+            present.add(literal)
+            unique.append(literal)
+    return tuple(unique) if len(unique) < size else literals
+
+
 @dataclass
 class CnfBuilder:
     """Accumulates clauses and maps named variables to DIMACS indices.

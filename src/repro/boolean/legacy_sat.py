@@ -1,0 +1,503 @@
+"""The pre-arena CDCL solver, retained as a differential baseline.
+
+This is the PR-3 solver exactly as it shipped: per-clause ``_ClauseRef``
+objects, ``dict``-keyed watch lists, assignments/levels/reasons held in
+dictionaries.  :class:`repro.boolean.sat.SatSolver` re-architected the
+same algorithm around a flat clause arena with blocker-literal watches;
+this module keeps the object-graph implementation alive so the fuzz and
+benchmark suites can cross-check every verdict and measure the speedup
+against a known-good oracle (``tests/boolean/test_sat_fuzz.py``,
+``benchmarks/bench_sat_core.py``).  Do not add features here — it exists
+to stay byte-for-byte the solver the PR-3/PR-5 results were produced
+with.
+
+Implements the standard conflict-driven clause learning loop:
+
+* two-watched-literal unit propagation with a dedicated unit-clause index
+  (``solve`` never rescans the full clause database),
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style activity-based decision heuristics served from a lazy
+  binary heap, with periodic decay,
+* phase saving (decisions re-try the polarity a variable last held),
+* Luby-sequence restarts,
+* learned-clause database reduction by activity (bounded cap, halving the
+  low-activity tail when the cap is hit).
+
+One solver instance is designed to outlive many :meth:`SatSolver.solve`
+calls: clauses may be added between calls (``add_clause`` mid-life), and
+learned clauses, variable activities and saved phases all carry over, so
+a sequence of related queries — the incremental BMC engine solves one
+query per (assertion, window) under an activation-literal assumption —
+gets monotonically cheaper instead of starting cold each time.
+
+The solver is deliberately self-contained (no numpy) and is sized for the
+bounded-model-checking instances produced by unrolling the bundled designs
+(hundreds to a few tens of thousands of variables).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+from repro.boolean.cnf import Clause
+from repro.boolean.sat import SatResult
+
+
+class _ClauseRef:
+    """Mutable clause container used internally by the solver."""
+
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: list[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class LegacySatSolver:
+    """CDCL solver over integer literals (DIMACS convention).
+
+    ``max_learned`` caps the learned-clause database: when the cap is
+    reached the lower-activity half of the (non-binary, non-reason)
+    learned clauses is dropped.
+    """
+
+    def __init__(self, clauses: Iterable[Clause] = (), variable_count: int = 0,
+                 max_learned: int = 4000):
+        self._clauses: list[_ClauseRef] = []
+        self._learned: list[_ClauseRef] = []
+        self._units: list[int] = []
+        self._has_empty = False
+        self._watches: dict[int, list[_ClauseRef]] = {}
+        self._assignment: dict[int, bool] = {}
+        self._level: dict[int, int] = {}
+        self._reason: dict[int, _ClauseRef | None] = {}
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._queue_head = 0
+        self._activity: dict[int, float] = {}
+        self._saved_phase: dict[int, bool] = {}
+        #: Lazy VSIDS heap of (-activity, variable); stale entries are
+        #: skipped on pop (entry activity no longer matches, or assigned).
+        self._order: list[tuple[float, int]] = []
+        self._var_increment = 1.0
+        self._clause_increment = 1.0
+        self._max_learned = max(16, max_learned)
+        self._variables: set[int] = set()
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.db_reductions = 0
+        self.learned_dropped = 0
+        for clause in clauses:
+            self.add_clause(clause)
+        for variable in range(1, variable_count + 1):
+            self._register_variable(variable)
+
+    # ------------------------------------------------------------------
+    # introspection used by the incremental formal layer
+    # ------------------------------------------------------------------
+    @property
+    def clause_count(self) -> int:
+        """Problem clauses currently in the database (excludes learned)."""
+        return len(self._clauses)
+
+    @property
+    def learned_count(self) -> int:
+        """Learned clauses currently retained."""
+        return len(self._learned)
+
+    @property
+    def variable_count(self) -> int:
+        return len(self._variables)
+
+    # ------------------------------------------------------------------
+    # clause management
+    # ------------------------------------------------------------------
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add a problem clause; legal at construction or between solves."""
+        unique: list[int] = []
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("literal 0 is not allowed")
+            if -literal in unique:
+                return  # tautology
+            if literal not in unique:
+                unique.append(literal)
+        if not unique:
+            self._has_empty = True
+            return
+        for literal in unique:
+            self._register_variable(abs(literal))
+        clause = _ClauseRef(list(unique))
+        self._clauses.append(clause)
+        if len(unique) == 1:
+            self._units.append(unique[0])
+        else:
+            self._watch(clause, unique[0])
+            self._watch(clause, unique[1])
+
+    def _register_variable(self, variable: int) -> None:
+        if variable not in self._variables:
+            self._variables.add(variable)
+            self._activity.setdefault(variable, 0.0)
+            heapq.heappush(self._order, (-self._activity[variable], variable))
+
+    def _watch(self, clause: _ClauseRef, literal: int) -> None:
+        self._watches.setdefault(literal, []).append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> bool | None:
+        assigned = self._assignment.get(abs(literal))
+        if assigned is None:
+            return None
+        return assigned if literal > 0 else not assigned
+
+    def _assign(self, literal: int, reason: _ClauseRef | None) -> None:
+        variable = abs(literal)
+        self._assignment[variable] = literal > 0
+        self._level[variable] = len(self._trail_limits)
+        self._reason[variable] = reason
+        self._trail.append(literal)
+
+    def _unassign_to(self, level: int) -> None:
+        target = self._trail_limits[level]
+        while len(self._trail) > target:
+            literal = self._trail.pop()
+            variable = abs(literal)
+            self._saved_phase[variable] = literal > 0
+            del self._assignment[variable]
+            del self._level[variable]
+            del self._reason[variable]
+            heapq.heappush(self._order, (-self._activity.get(variable, 0.0), variable))
+        del self._trail_limits[level:]
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _propagate(self) -> _ClauseRef | None:
+        head = self._queue_head
+        while head < len(self._trail):
+            literal = self._trail[head]
+            head += 1
+            false_literal = -literal
+            watching = self._watches.get(false_literal, [])
+            keep: list[_ClauseRef] = []
+            conflict: _ClauseRef | None = None
+            position = 0
+            while position < len(watching):
+                clause = watching[position]
+                position += 1
+                if conflict is not None:
+                    keep.append(clause)
+                    continue
+                literals = clause.literals
+                # Ensure the false literal is in slot 1.
+                if literals[0] == false_literal:
+                    literals[0], literals[1] = literals[1], literals[0]
+                first = literals[0]
+                if self._value(first) is True:
+                    keep.append(clause)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for slot in range(2, len(literals)):
+                    if self._value(literals[slot]) is not False:
+                        literals[1], literals[slot] = literals[slot], literals[1]
+                        self._watch(clause, literals[1])
+                        found = True
+                        break
+                if found:
+                    continue
+                keep.append(clause)
+                if self._value(first) is False:
+                    conflict = clause
+                else:
+                    self._assign(first, clause)
+                    self.propagations += 1
+            self._watches[false_literal] = keep
+            if conflict is not None:
+                self._queue_head = len(self._trail)
+                return conflict
+        self._queue_head = head
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict: _ClauseRef) -> tuple[list[int], int]:
+        current_level = len(self._trail_limits)
+        learned: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        literal: int | None = None
+        clause = conflict
+        trail_index = len(self._trail) - 1
+
+        while True:
+            self._bump_clause(clause)
+            for clause_literal in clause.literals:
+                if literal is not None and abs(clause_literal) == abs(literal):
+                    continue
+                variable = abs(clause_literal)
+                if variable in seen:
+                    continue
+                if self._level.get(variable, 0) == 0:
+                    continue
+                seen.add(variable)
+                self._bump_variable(variable)
+                if self._level[variable] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_literal)
+            # Find the next literal on the trail to resolve on.
+            while trail_index >= 0 and abs(self._trail[trail_index]) not in seen:
+                trail_index -= 1
+            if trail_index < 0:
+                break
+            literal = self._trail[trail_index]
+            variable = abs(literal)
+            seen.discard(variable)
+            counter -= 1
+            trail_index -= 1
+            if counter <= 0:
+                learned.insert(0, -literal)
+                break
+            reason = self._reason.get(variable)
+            if reason is None:
+                break
+            clause = reason
+
+        if not learned:
+            return [], -1
+
+        if len(learned) == 1:
+            return learned, 0
+        # Keep the asserting literal first and a literal from the backjump
+        # level second so the clause watches stay well positioned.
+        rest = sorted(learned[1:], key=lambda lit: -self._level[abs(lit)])
+        learned = [learned[0]] + rest
+        backjump_level = self._level[abs(learned[1])]
+        return learned, backjump_level
+
+    def _bump_variable(self, variable: int) -> None:
+        activity = self._activity.get(variable, 0.0) + self._var_increment
+        self._activity[variable] = activity
+        if activity > 1e100:
+            for key in self._activity:
+                self._activity[key] *= 1e-100
+            self._var_increment *= 1e-100
+            # Every heap entry is stale now; drop them and let the pick
+            # fall back to a rebuild.
+            self._order.clear()
+        elif variable not in self._assignment:
+            heapq.heappush(self._order, (-activity, variable))
+
+    def _bump_clause(self, clause: _ClauseRef) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self._clause_increment
+        if clause.activity > 1e20:
+            for learned in self._learned:
+                learned.activity *= 1e-20
+            self._clause_increment *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_increment /= 0.95
+        self._clause_increment /= 0.999
+
+    # ------------------------------------------------------------------
+    # learned-clause database reduction
+    # ------------------------------------------------------------------
+    def _reduce_learned_db(self) -> None:
+        """Drop the low-activity half of the reducible learned clauses.
+
+        Binary clauses (cheap, valuable) and clauses currently acting as
+        the reason of an assignment are kept unconditionally.
+        """
+        locked = {id(reason) for reason in self._reason.values() if reason is not None}
+        reducible = [clause for clause in self._learned
+                     if len(clause.literals) > 2 and id(clause) not in locked]
+        if not reducible:
+            return
+        reducible.sort(key=lambda clause: clause.activity)
+        dropped = {id(clause) for clause in reducible[:len(reducible) // 2]}
+        if not dropped:
+            return
+        self._learned = [c for c in self._learned if id(c) not in dropped]
+        for literal, watching in self._watches.items():
+            if any(id(c) in dropped for c in watching):
+                self._watches[literal] = [c for c in watching if id(c) not in dropped]
+        self.learned_dropped += len(dropped)
+        self.db_reductions += 1
+
+    def _attach_learned(self, literals: list[int]) -> _ClauseRef:
+        clause = _ClauseRef(list(literals), learned=True)
+        clause.activity = self._clause_increment
+        if len(literals) == 1:
+            # A learned unit is permanent level-0 knowledge: index it so
+            # every later solve assigns it up front.
+            self._units.append(literals[0])
+        else:
+            self._learned.append(clause)
+            self._watch(clause, literals[0])
+            self._watch(clause, literals[1])
+        return clause
+
+    # ------------------------------------------------------------------
+    # decisions and restarts
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> int | None:
+        order = self._order
+        activity = self._activity
+        assignment = self._assignment
+        while order:
+            negated, variable = heapq.heappop(order)
+            if variable in assignment:
+                continue
+            if -negated != activity.get(variable, 0.0):
+                continue  # stale entry (activity bumped or rescaled since)
+            return variable
+        # Heap exhausted (e.g. after an activity rescale): rebuild it from
+        # the unassigned variables and try again.
+        entries = [(-activity.get(variable, 0.0), variable)
+                   for variable in self._variables if variable not in assignment]
+        if not entries:
+            return None
+        heapq.heapify(entries)
+        self._order = entries
+        return self._pick_branch_variable()
+
+    @staticmethod
+    def _luby(index: int) -> int:
+        """Return the ``index``-th element of the Luby restart sequence.
+
+        (The 0-indexed sequence 1, 1, 2, 1, 1, 2, 4, 1, ...: element
+        ``index`` of the subsequence ending at ``2^seq - 1`` entries.)
+        """
+        size, exponent = 1, 0
+        while size < index + 1:
+            exponent += 1
+            size = 2 * size + 1
+        while size - 1 != index:
+            size = (size - 1) >> 1
+            exponent -= 1
+            index %= size
+        return 1 << exponent
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        """Solve the current clause database under optional assumptions.
+
+        The solver always returns with the trail fully unwound, so clauses
+        can be added and :meth:`solve` called again; learned clauses,
+        activities and saved phases persist between calls.
+        """
+        self._queue_head = 0
+        if self._has_empty:
+            return self._finish(False)
+        # Assign the indexed unit clauses at level 0.
+        for literal in self._units:
+            value = self._value(literal)
+            if value is False:
+                return self._finish(False)
+            if value is None:
+                self._assign(literal, None)
+        conflict = self._propagate()
+        if conflict is not None:
+            return self._finish(False)
+
+        for literal in assumptions:
+            value = self._value(literal)
+            if value is False:
+                return self._finish(False)
+            if value is None:
+                self._trail_limits.append(len(self._trail))
+                self._assign(literal, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    return self._finish(False)
+
+        assumption_levels = len(self._trail_limits)
+        restart_count = 0
+        conflicts_until_restart = 32 * self._luby(restart_count)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if len(self._trail_limits) <= assumption_levels:
+                    return self._finish(False)
+                learned, backjump_level = self._analyze(conflict)
+                if not learned or backjump_level < 0:
+                    return self._finish(False)
+                backjump_level = max(backjump_level, assumption_levels)
+                self._unassign_to(backjump_level)
+                self._queue_head = len(self._trail)
+                learned_clause = self._attach_learned(learned)
+                value = self._value(learned[0])
+                if value is None:
+                    self._assign(learned[0], learned_clause if len(learned) > 1 else None)
+                elif value is False:
+                    return self._finish(False)
+                self._decay_activities()
+                if len(self._learned) >= self._max_learned:
+                    self._reduce_learned_db()
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                restart_count += 1
+                self.restarts += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = 32 * self._luby(restart_count)
+                # A unit-learning backjump may already have unwound the
+                # trail to the assumption level; _unassign_to would index
+                # past the end of _trail_limits there.
+                if len(self._trail_limits) > assumption_levels:
+                    self._unassign_to(assumption_levels)
+                    self._queue_head = len(self._trail)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = dict(self._assignment)
+                return self._finish(True, model)
+            self.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            # Phase saving: re-try the polarity the variable last held;
+            # first-time decisions default to False, which tends to work
+            # well for BMC instances dominated by control logic.
+            if self._saved_phase.get(variable, False):
+                self._assign(variable, None)
+            else:
+                self._assign(-variable, None)
+
+    def _finish(self, satisfiable: bool, model: dict[int, bool] | None = None) -> SatResult:
+        self._reset()
+        return SatResult(satisfiable, model=model or {}, conflicts=self.conflicts,
+                         decisions=self.decisions, propagations=self.propagations)
+
+    def _reset(self) -> None:
+        if self._trail_limits:
+            self._unassign_to(0)
+        # Level-0 assignments (units) remain on the trail after unwinding
+        # to level 0; clear them as well so mid-life clause additions see a
+        # blank assignment.
+        while self._trail:
+            literal = self._trail.pop()
+            variable = abs(literal)
+            self._saved_phase[variable] = literal > 0
+            del self._assignment[variable]
+            del self._level[variable]
+            del self._reason[variable]
+            heapq.heappush(self._order, (-self._activity.get(variable, 0.0), variable))
+        self._queue_head = 0

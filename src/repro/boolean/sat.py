@@ -1,28 +1,51 @@
-"""A CDCL SAT solver built for persistent, incremental reuse.
+"""A CDCL SAT solver on a flat clause arena with blocker-literal watches.
 
-Implements the standard conflict-driven clause learning loop:
+This is the hot core under every formal query in the closure loop: each
+BMC violation query, each canonical-counterexample minimisation solve and
+each induction check bottoms out in :meth:`SatSolver.solve`.  The solver
+keeps the exact public surface and query protocol of the previous
+object-graph implementation (retained as
+:class:`repro.boolean.legacy_sat.LegacySatSolver` for differential
+testing) but re-architects the data layout the way hardware solvers do:
 
-* two-watched-literal unit propagation with a dedicated unit-clause index
-  (``solve`` never rescans the full clause database),
-* first-UIP conflict analysis with clause learning and non-chronological
-  backjumping,
-* VSIDS-style activity-based decision heuristics served from a lazy
-  binary heap, with periodic decay,
-* phase saving (decisions re-try the polarity a variable last held),
-* Luby-sequence restarts,
-* learned-clause database reduction by activity (bounded cap, halving the
-  low-activity tail when the cap is hit).
+* **Flat clause arena.**  All clause literals live in one contiguous
+  flat buffer; a clause is an integer id indexing parallel header
+  arrays (offset, size, learned flag, activity, LBD).  There are no
+  per-clause python objects on the hot path — propagation walks raw
+  integers.  (The buffers are plain lists rather than ``array('i')``:
+  CPython boxes a fresh int on every ``array`` access, which measures
+  ~1.8x slower than list indexing on this loop.)
+* **Blocker-literal watch lists.**  Watch lists are flat interleaved
+  ``[clause_id, blocker, clause_id, blocker, ...]`` lists indexed by
+  literal.  The blocker caches one literal of the clause; when it is
+  already true the whole clause dereference (header load + arena scan)
+  is skipped.  On BMC instances most watch visits end in a blocker hit.
+* **Literal codes.**  Internally a DIMACS literal ``±v`` is the code
+  ``v << 1 | (sign bit)`` so negation is ``code ^ 1`` and assignments are
+  plain list indexing instead of dictionary lookups.
+* **Compacting clause-database reduction.**  When the learned-clause cap
+  is hit, the low-activity half is dropped and the arena is rewritten in
+  place: live literals slide down, clause ids are renumbered densely, and
+  watch/reason references are remapped — no free holes survive a
+  reduction (the invariant checker asserts header contiguity).
 
-One solver instance is designed to outlive many :meth:`SatSolver.solve`
-calls: clauses may be added between calls (``add_clause`` mid-life), and
-learned clauses, variable activities and saved phases all carry over, so
-a sequence of related queries — the incremental BMC engine solves one
-query per (assertion, window) under an activation-literal assumption —
-gets monotonically cheaper instead of starting cold each time.
+The CDCL machinery itself is unchanged: two-watched-literal propagation,
+first-UIP learning with non-chronological backjumping, VSIDS from a lazy
+heap, phase saving, Luby restarts, activation-literal friendly
+assumptions, and mid-life ``add_clause``.  One instance outlives many
+:meth:`solve` calls; learned clauses, activities and saved phases carry
+over between queries.
 
-The solver is deliberately self-contained (no numpy) and is sized for the
-bounded-model-checking instances produced by unrolling the bundled designs
-(hundreds to a few tens of thousands of variables).
+Instrumentation: every :class:`SatResult` carries a ``stats`` dict with
+the per-solve propagation/decision/conflict/restart counters plus the
+blocker hit rate, and :meth:`SatSolver.stats_total` exposes the
+process-lifetime totals (surfaced as ``sat_*`` counters in
+``VerifierStatistics.reuse`` by the formal layer).  Two debug modes back
+the solver test battery: ``debug_checks=True`` asserts the watch/arena/
+trail invariants after every propagation fixpoint, and ``certify=True``
+records every learned clause (plus the final empty clause on
+assumption-free UNSAT answers) in :attr:`SatSolver.proof` for reverse
+unit propagation checking by :mod:`repro.boolean.certify`.
 """
 
 from __future__ import annotations
@@ -31,33 +54,28 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.boolean.cnf import Clause, CnfBuilder
+from repro.boolean.cnf import Clause, CnfBuilder, canonical_clause
 from repro.boolean.expr import BoolExpr
 
 
 @dataclass
 class SatResult:
-    """Outcome of a SAT query."""
+    """Outcome of a SAT query.
+
+    ``conflicts``/``decisions``/``propagations`` are the solver's
+    cumulative lifetime counters (historical surface); ``stats`` holds
+    the counters of *this* solve only, including the blocker hit rate.
+    """
 
     satisfiable: bool
     model: dict[int, bool] = field(default_factory=dict)
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    stats: dict = field(default_factory=dict)
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.satisfiable
-
-
-class _ClauseRef:
-    """Mutable clause container used internally by the solver."""
-
-    __slots__ = ("literals", "learned", "activity")
-
-    def __init__(self, literals: list[int], learned: bool = False):
-        self.literals = literals
-        self.learned = learned
-        self.activity = 0.0
 
 
 class SatSolver:
@@ -65,41 +83,89 @@ class SatSolver:
 
     ``max_learned`` caps the learned-clause database: when the cap is
     reached the lower-activity half of the (non-binary, non-reason)
-    learned clauses is dropped.
+    learned clauses is dropped and the arena compacted in place.
+    ``debug_checks`` asserts the solver invariants after every
+    propagation fixpoint; ``certify`` records learned clauses in
+    :attr:`proof` for RUP checking.  Both debug modes are off on the
+    production path.
     """
 
     def __init__(self, clauses: Iterable[Clause] = (), variable_count: int = 0,
-                 max_learned: int = 4000):
-        self._clauses: list[_ClauseRef] = []
-        self._learned: list[_ClauseRef] = []
+                 max_learned: int = 4000, debug_checks: bool = False,
+                 certify: bool = False):
+        # --- clause arena -------------------------------------------------
+        #: All clause literals (internal codes), one flat contiguous
+        #: buffer.  Plain lists, not ``array``: CPython boxes a fresh int
+        #: on every ``array.__getitem__``, which measures ~1.8x slower
+        #: than list indexing on the propagation loop's access pattern.
+        self._arena: list[int] = []
+        #: Parallel headers indexed by clause id.
+        self._c_offset: list[int] = []
+        self._c_size: list[int] = []
+        self._c_learned = bytearray()
+        self._c_activity: list[float] = []
+        self._c_lbd: list[int] = []
+        #: Learned unit clauses (internal codes) awaiting root-level
+        #: assignment at the next solve; problem units assign immediately
+        #: at intake.  Units are never stored in the arena.
         self._units: list[int] = []
         self._has_empty = False
-        self._watches: dict[int, list[_ClauseRef]] = {}
-        self._assignment: dict[int, bool] = {}
-        self._level: dict[int, int] = {}
-        self._reason: dict[int, _ClauseRef | None] = {}
+        self._problem_clauses = 0
+        self._learned_live = 0
+        # --- per-literal state (indexed by code = var << 1 | sign) --------
+        #: 1 = true, -1 = false, 0 = unassigned (small ints are cached,
+        #: so a list costs no allocation and indexes faster than a
+        #: ``bytearray``/``array('b')``).
+        self._values: list[int] = [0, 0]
+        #: Interleaved [clause_id, blocker, ...] watcher lists for clauses
+        #: of size >= 3.
+        self._watches: list[list[int]] = [[], []]
+        #: Interleaved [other_literal, clause_id, ...] watcher lists for
+        #: binary clauses.  A binary watch entry is the whole clause, so
+        #: these lists are scanned without blockers, never move a watch
+        #: and never need compaction.
+        self._bin_watches: list[list[int]] = [[], []]
+        # --- per-variable state -------------------------------------------
+        self._var_level: list[int] = [0]
+        self._var_reason: list[int] = [-1]
+        self._activity: list[float] = [0.0]
+        self._var_seen = bytearray(1)
+        self._registered = 0
+        #: External variable -> last polarity it held (phase saving).
+        self._saved_phase: dict[int, bool] = {}
+        # --- trail ---------------------------------------------------------
         self._trail: list[int] = []
         self._trail_limits: list[int] = []
         self._queue_head = 0
-        self._activity: dict[int, float] = {}
-        self._saved_phase: dict[int, bool] = {}
         #: Lazy VSIDS heap of (-activity, variable); stale entries are
         #: skipped on pop (entry activity no longer matches, or assigned).
         self._order: list[tuple[float, int]] = []
         self._var_increment = 1.0
         self._clause_increment = 1.0
         self._max_learned = max(16, max_learned)
-        self._variables: set[int] = set()
+        # --- instrumentation (cumulative over the solver's lifetime) ------
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.restarts = 0
         self.db_reductions = 0
         self.learned_dropped = 0
-        for clause in clauses:
-            self.add_clause(clause)
+        self.blocker_hits = 0
+        self.watch_checks = 0
+        self.solves = 0
+        # --- debug modes ---------------------------------------------------
+        self._debug = debug_checks
+        self._certify = certify
+        #: Learned-clause derivations (external literal tuples) when
+        #: ``certify`` is on; ends with ``()`` after an assumption-free
+        #: UNSAT answer.
+        self.proof: list[tuple[int, ...]] = []
+        # Register declared variables before loading clauses so intake's
+        # per-literal registration check is a cheap bytearray hit.
         for variable in range(1, variable_count + 1):
             self._register_variable(variable)
+        for clause in clauses:
+            self.add_clause(clause)
 
     # ------------------------------------------------------------------
     # introspection used by the incremental formal layer
@@ -107,175 +173,392 @@ class SatSolver:
     @property
     def clause_count(self) -> int:
         """Problem clauses currently in the database (excludes learned)."""
-        return len(self._clauses)
+        return self._problem_clauses
 
     @property
     def learned_count(self) -> int:
-        """Learned clauses currently retained."""
-        return len(self._learned)
+        """Learned (non-unit) clauses currently retained."""
+        return self._learned_live
 
     @property
     def variable_count(self) -> int:
-        return len(self._variables)
+        return self._registered
+
+    @property
+    def arena_size(self) -> int:
+        """Live literals in the clause arena (compaction leaves no holes)."""
+        return len(self._arena)
+
+    def stats_total(self) -> dict[str, int]:
+        """Cumulative solver counters, for the formal layer's telemetry."""
+        return {
+            "solves": self.solves,
+            "propagations": self.propagations,
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "db_reductions": self.db_reductions,
+            "learned_dropped": self.learned_dropped,
+            "blocker_hits": self.blocker_hits,
+            "watch_checks": self.watch_checks,
+            "arena_literals": len(self._arena),
+        }
 
     # ------------------------------------------------------------------
     # clause management
     # ------------------------------------------------------------------
     def add_clause(self, literals: Sequence[int]) -> None:
-        """Add a problem clause; legal at construction or between solves."""
-        unique: list[int] = []
-        for literal in literals:
-            if literal == 0:
-                raise ValueError("literal 0 is not allowed")
-            if -literal in unique:
-                return  # tautology
-            if literal not in unique:
-                unique.append(literal)
+        """Add a problem clause; legal at construction or between solves.
+
+        Clauses are canonicalised once at this arena boundary
+        (:func:`repro.boolean.cnf.canonical_clause`): duplicate literals
+        collapse, tautologies are dropped, the empty clause marks the
+        database unsatisfiable.
+
+        Root-level (level-0) assignments persist across solves, so the
+        new clause is evaluated against them here: units assign
+        immediately, a clause with a single non-false literal implies it,
+        and an all-false clause marks the database unsatisfiable.  The
+        propagation queue head is left behind the new assignments, so the
+        next solve picks up their consequences before anything else.
+        """
+        unique = canonical_clause(literals)
+        if unique is None:
+            return  # tautology
         if not unique:
             self._has_empty = True
             return
+        seen = self._var_seen
+        limit = len(seen)
+        codes = []
         for literal in unique:
-            self._register_variable(abs(literal))
-        clause = _ClauseRef(list(unique))
-        self._clauses.append(clause)
-        if len(unique) == 1:
-            self._units.append(unique[0])
-        else:
-            self._watch(clause, unique[0])
-            self._watch(clause, unique[1])
+            if literal > 0:
+                variable = literal
+                code = literal << 1
+            else:
+                variable = -literal
+                code = (variable << 1) | 1
+            if variable >= limit or not seen[variable]:
+                self._register_variable(variable)
+                seen = self._var_seen
+                limit = len(seen)
+            codes.append(code)
+        self._problem_clauses += 1
+        values = self._values
+        if len(codes) == 1:
+            value = values[codes[0]]
+            if value < 0:
+                self._has_empty = True
+            elif value == 0:
+                self._assign(codes[0], -1)
+            return
+        # Fast path: both watch candidates non-false under the root-level
+        # assignment (always true on a fresh solver).
+        if values[codes[0]] >= 0 and values[codes[1]] >= 0:
+            self._push_clause(codes, learned=False, activity=0.0, lbd=0)
+            return
+        # Reorder so two non-false literals sit in the watch slots.
+        front = 0
+        for index, code in enumerate(codes):
+            if values[code] >= 0:
+                codes[front], codes[index] = code, codes[front]
+                front += 1
+                if front == 2:
+                    break
+        if front == 0:
+            self._has_empty = True  # conflicts with root-level facts
+            return
+        cid = self._push_clause(codes, learned=False, activity=0.0, lbd=0)
+        if front == 1:
+            # All but one literal false at root level: the clause implies
+            # it there.  (If it is already true the clause is satisfied.)
+            if values[codes[0]] == 0:
+                self._assign(codes[0], cid)
+
+    def _push_clause(self, codes: list[int], learned: bool, activity: float,
+                     lbd: int) -> int:
+        """Append a clause to the arena and watch its first two literals.
+
+        Binary clauses go to the dedicated binary watcher lists: the watch
+        entry ``(other_literal, clause_id)`` already carries the whole
+        clause, so propagation resolves them — satisfied, unit or conflict
+        — without ever touching the arena.
+        """
+        cid = len(self._c_offset)
+        arena = self._arena
+        self._c_offset.append(len(arena))
+        size = len(codes)
+        self._c_size.append(size)
+        self._c_learned.append(1 if learned else 0)
+        self._c_activity.append(activity)
+        self._c_lbd.append(lbd)
+        arena.extend(codes)
+        first, second = codes[0], codes[1]
+        if size == 2:
+            watch = self._bin_watches[first]
+            watch.append(second)
+            watch.append(cid)
+            watch = self._bin_watches[second]
+            watch.append(first)
+            watch.append(cid)
+            return cid
+        watch = self._watches[first]
+        watch.append(cid)
+        watch.append(second)
+        watch = self._watches[second]
+        watch.append(cid)
+        watch.append(first)
+        return cid
 
     def _register_variable(self, variable: int) -> None:
-        if variable not in self._variables:
-            self._variables.add(variable)
-            self._activity.setdefault(variable, 0.0)
+        self._ensure_var(variable)
+        if not self._var_seen[variable]:
+            self._var_seen[variable] = 1
+            self._registered += 1
             heapq.heappush(self._order, (-self._activity[variable], variable))
 
-    def _watch(self, clause: _ClauseRef, literal: int) -> None:
-        self._watches.setdefault(literal, []).append(clause)
+    def _ensure_var(self, variable: int) -> None:
+        """Grow the per-variable/per-literal arrays to cover ``variable``."""
+        needed = variable + 1 - len(self._var_level)
+        if needed <= 0:
+            return
+        self._var_level.extend([0] * needed)
+        self._var_reason.extend([-1] * needed)
+        self._activity.extend([0.0] * needed)
+        self._var_seen.extend(bytes(needed))
+        self._values.extend([0] * (2 * needed))
+        self._watches.extend([] for _ in range(2 * needed))
+        self._bin_watches.extend([] for _ in range(2 * needed))
 
     # ------------------------------------------------------------------
-    # assignment helpers
+    # assignment helpers (cold paths; _propagate inlines all of this)
     # ------------------------------------------------------------------
-    def _value(self, literal: int) -> bool | None:
-        assigned = self._assignment.get(abs(literal))
-        if assigned is None:
-            return None
-        return assigned if literal > 0 else not assigned
+    @staticmethod
+    def _code(literal: int) -> int:
+        return (literal << 1) if literal > 0 else ((-literal) << 1) | 1
 
-    def _assign(self, literal: int, reason: _ClauseRef | None) -> None:
-        variable = abs(literal)
-        self._assignment[variable] = literal > 0
-        self._level[variable] = len(self._trail_limits)
-        self._reason[variable] = reason
-        self._trail.append(literal)
+    @staticmethod
+    def _external(code: int) -> int:
+        return -(code >> 1) if code & 1 else (code >> 1)
+
+    def _assign(self, code: int, reason: int) -> None:
+        values = self._values
+        values[code] = 1
+        values[code ^ 1] = -1
+        variable = code >> 1
+        self._var_level[variable] = len(self._trail_limits)
+        self._var_reason[variable] = reason
+        self._trail.append(code)
 
     def _unassign_to(self, level: int) -> None:
         target = self._trail_limits[level]
-        while len(self._trail) > target:
-            literal = self._trail.pop()
-            variable = abs(literal)
-            self._saved_phase[variable] = literal > 0
-            del self._assignment[variable]
-            del self._level[variable]
-            del self._reason[variable]
-            heapq.heappush(self._order, (-self._activity.get(variable, 0.0), variable))
+        trail = self._trail
+        values = self._values
+        order = self._order
+        activity = self._activity
+        phases = self._saved_phase
+        while len(trail) > target:
+            code = trail.pop()
+            variable = code >> 1
+            phases[variable] = not (code & 1)
+            values[code] = 0
+            values[code ^ 1] = 0
+            heapq.heappush(order, (-activity[variable], variable))
         del self._trail_limits[level:]
 
     # ------------------------------------------------------------------
     # propagation
     # ------------------------------------------------------------------
-    def _propagate(self) -> _ClauseRef | None:
+    def _propagate(self) -> int:
+        """Unit propagation to fixpoint; returns a conflict clause id or -1.
+
+        Two passes per trail literal.  The binary watcher lists first:
+        each entry is the whole clause, so a value test resolves it with
+        no arena access and the list is never rewritten.  Then the large
+        (size >= 3) lists, where every entry is screened through its
+        blocker literal — a true blocker keeps the watch without touching
+        the clause header or the arena at all.  Large lists are compacted
+        in place with a read/write cursor pair, but writes only start
+        after the first removal (``dirty``) — an all-hits visit leaves
+        the list untouched.
+        """
+        trail = self._trail
+        values = self._values
+        watches = self._watches
+        bin_watches = self._bin_watches
+        arena = self._arena
+        offsets = self._c_offset
+        sizes = self._c_size
+        var_level = self._var_level
+        var_reason = self._var_reason
+        level = len(self._trail_limits)
         head = self._queue_head
-        while head < len(self._trail):
-            literal = self._trail[head]
+        conflict = -1
+        propagated = 0
+        hits = 0
+        checks = 0
+        while head < len(trail):
+            false_literal = trail[head] ^ 1
             head += 1
-            false_literal = -literal
-            watching = self._watches.get(false_literal, [])
-            keep: list[_ClauseRef] = []
-            conflict: _ClauseRef | None = None
-            position = 0
-            while position < len(watching):
-                clause = watching[position]
-                position += 1
-                if conflict is not None:
-                    keep.append(clause)
+            binlist = bin_watches[false_literal]
+            checks += len(binlist) >> 1
+            for index in range(0, len(binlist), 2):
+                other = binlist[index]
+                value = values[other]
+                if value > 0:
+                    hits += 1
                     continue
-                literals = clause.literals
-                # Ensure the false literal is in slot 1.
-                if literals[0] == false_literal:
-                    literals[0], literals[1] = literals[1], literals[0]
-                first = literals[0]
-                if self._value(first) is True:
-                    keep.append(clause)
+                if value < 0:
+                    conflict = binlist[index + 1]
+                    break
+                values[other] = 1
+                values[other ^ 1] = -1
+                variable = other >> 1
+                var_level[variable] = level
+                var_reason[variable] = binlist[index + 1]
+                trail.append(other)
+                propagated += 1
+            if conflict >= 0:
+                head = len(trail)
+                break
+            watchlist = watches[false_literal]
+            total = len(watchlist)
+            read = 0
+            write = 0
+            dirty = False
+            while read < total:
+                cid = watchlist[read]
+                blocker = watchlist[read + 1]
+                read += 2
+                if values[blocker] > 0:
+                    hits += 1
+                    if dirty:
+                        watchlist[write] = cid
+                        watchlist[write + 1] = blocker
+                    write += 2
+                    continue
+                offset = offsets[cid]
+                # Ensure the false literal sits in slot 1.
+                first = arena[offset]
+                if first == false_literal:
+                    first = arena[offset + 1]
+                    arena[offset] = first
+                    arena[offset + 1] = false_literal
+                first_value = values[first]
+                if first_value > 0:
+                    # Keep the watch, upgrading the blocker to the
+                    # satisfying watch literal.
+                    if dirty:
+                        watchlist[write] = cid
+                    watchlist[write + 1] = first
+                    write += 2
                     continue
                 # Look for a replacement watch.
-                found = False
-                for slot in range(2, len(literals)):
-                    if self._value(literals[slot]) is not False:
-                        literals[1], literals[slot] = literals[slot], literals[1]
-                        self._watch(clause, literals[1])
-                        found = True
+                end = offset + sizes[cid]
+                slot = offset + 2
+                moved = False
+                while slot < end:
+                    candidate = arena[slot]
+                    if values[candidate] >= 0:
+                        arena[offset + 1] = candidate
+                        arena[slot] = false_literal
+                        other = watches[candidate]
+                        other.append(cid)
+                        other.append(first)
+                        moved = True
                         break
-                if found:
+                    slot += 1
+                if moved:
+                    dirty = True
                     continue
-                keep.append(clause)
-                if self._value(first) is False:
-                    conflict = clause
-                else:
-                    self._assign(first, clause)
-                    self.propagations += 1
-            self._watches[false_literal] = keep
-            if conflict is not None:
-                self._queue_head = len(self._trail)
-                return conflict
+                if dirty:
+                    watchlist[write] = cid
+                watchlist[write + 1] = first
+                write += 2
+                if first_value < 0:
+                    conflict = cid
+                    break
+                # Unit: assign `first` with this clause as reason.
+                values[first] = 1
+                values[first ^ 1] = -1
+                variable = first >> 1
+                var_level[variable] = level
+                var_reason[variable] = cid
+                trail.append(first)
+                propagated += 1
+            checks += read >> 1
+            if conflict >= 0:
+                if dirty:
+                    while read < total:  # keep the unvisited tail
+                        watchlist[write] = watchlist[read]
+                        write += 1
+                        read += 1
+                    del watchlist[write:]
+                head = len(trail)
+                break
+            if dirty:
+                del watchlist[write:]
         self._queue_head = head
-        return None
+        self.propagations += propagated
+        self.blocker_hits += hits
+        self.watch_checks += checks
+        if conflict < 0 and self._debug:
+            self.check_invariants()
+        return conflict
 
     # ------------------------------------------------------------------
     # conflict analysis (first UIP)
     # ------------------------------------------------------------------
-    def _analyze(self, conflict: _ClauseRef) -> tuple[list[int], int]:
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
+        arena = self._arena
+        offsets = self._c_offset
+        sizes = self._c_size
+        levels = self._var_level
+        reasons = self._var_reason
+        trail = self._trail
         current_level = len(self._trail_limits)
         learned: list[int] = []
         seen: set[int] = set()
         counter = 0
-        literal: int | None = None
-        clause = conflict
-        trail_index = len(self._trail) - 1
+        resolved_variable = -1
+        cid = conflict
+        trail_index = len(trail) - 1
 
         while True:
-            self._bump_clause(clause)
-            for clause_literal in clause.literals:
-                if literal is not None and abs(clause_literal) == abs(literal):
+            self._bump_clause(cid)
+            offset = offsets[cid]
+            for slot in range(offset, offset + sizes[cid]):
+                code = arena[slot]
+                variable = code >> 1
+                if variable == resolved_variable:
                     continue
-                variable = abs(clause_literal)
                 if variable in seen:
                     continue
-                if self._level.get(variable, 0) == 0:
+                if levels[variable] == 0:
                     continue
                 seen.add(variable)
                 self._bump_variable(variable)
-                if self._level[variable] == current_level:
+                if levels[variable] == current_level:
                     counter += 1
                 else:
-                    learned.append(clause_literal)
+                    learned.append(code)
             # Find the next literal on the trail to resolve on.
-            while trail_index >= 0 and abs(self._trail[trail_index]) not in seen:
+            while trail_index >= 0 and (trail[trail_index] >> 1) not in seen:
                 trail_index -= 1
             if trail_index < 0:
                 break
-            literal = self._trail[trail_index]
-            variable = abs(literal)
+            code = trail[trail_index]
+            variable = code >> 1
             seen.discard(variable)
             counter -= 1
             trail_index -= 1
             if counter <= 0:
-                learned.insert(0, -literal)
+                learned.insert(0, code ^ 1)
                 break
-            reason = self._reason.get(variable)
-            if reason is None:
+            cid = reasons[variable]
+            if cid < 0:
                 break
-            clause = reason
+            resolved_variable = variable
 
         if not learned:
             return [], -1
@@ -284,31 +567,34 @@ class SatSolver:
             return learned, 0
         # Keep the asserting literal first and a literal from the backjump
         # level second so the clause watches stay well positioned.
-        rest = sorted(learned[1:], key=lambda lit: -self._level[abs(lit)])
+        rest = sorted(learned[1:], key=lambda code: -levels[code >> 1])
         learned = [learned[0]] + rest
-        backjump_level = self._level[abs(learned[1])]
+        backjump_level = levels[learned[1] >> 1]
         return learned, backjump_level
 
     def _bump_variable(self, variable: int) -> None:
-        activity = self._activity.get(variable, 0.0) + self._var_increment
+        activity = self._activity[variable] + self._var_increment
         self._activity[variable] = activity
         if activity > 1e100:
-            for key in self._activity:
-                self._activity[key] *= 1e-100
+            self._activity = [value * 1e-100 for value in self._activity]
             self._var_increment *= 1e-100
             # Every heap entry is stale now; drop them and let the pick
             # fall back to a rebuild.
             self._order.clear()
-        elif variable not in self._assignment:
+        elif self._values[variable << 1] == 0:
             heapq.heappush(self._order, (-activity, variable))
 
-    def _bump_clause(self, clause: _ClauseRef) -> None:
-        if not clause.learned:
+    def _bump_clause(self, cid: int) -> None:
+        if not self._c_learned[cid]:
             return
-        clause.activity += self._clause_increment
-        if clause.activity > 1e20:
-            for learned in self._learned:
-                learned.activity *= 1e-20
+        activity = self._c_activity[cid] + self._clause_increment
+        self._c_activity[cid] = activity
+        if activity > 1e20:
+            learned_flags = self._c_learned
+            activities = self._c_activity
+            for index in range(len(activities)):
+                if learned_flags[index]:
+                    activities[index] *= 1e-20
             self._clause_increment *= 1e-20
 
     def _decay_activities(self) -> None:
@@ -316,42 +602,119 @@ class SatSolver:
         self._clause_increment /= 0.999
 
     # ------------------------------------------------------------------
-    # learned-clause database reduction
+    # learned-clause database reduction + arena compaction
     # ------------------------------------------------------------------
     def _reduce_learned_db(self) -> None:
-        """Drop the low-activity half of the reducible learned clauses.
+        """Drop the low-activity half of the reducible learned clauses and
+        compact the arena in place.
 
         Binary clauses (cheap, valuable) and clauses currently acting as
         the reason of an assignment are kept unconditionally.
         """
-        locked = {id(reason) for reason in self._reason.values() if reason is not None}
-        reducible = [clause for clause in self._learned
-                     if len(clause.literals) > 2 and id(clause) not in locked]
+        locked = {self._var_reason[code >> 1] for code in self._trail}
+        learned_flags = self._c_learned
+        sizes = self._c_size
+        activities = self._c_activity
+        reducible = [cid for cid in range(len(sizes))
+                     if learned_flags[cid] and sizes[cid] > 2
+                     and cid not in locked]
         if not reducible:
             return
-        reducible.sort(key=lambda clause: clause.activity)
-        dropped = {id(clause) for clause in reducible[:len(reducible) // 2]}
-        if not dropped:
+        reducible.sort(key=lambda cid: activities[cid])
+        dead = set(reducible[:len(reducible) // 2])
+        if not dead:
             return
-        self._learned = [c for c in self._learned if id(c) not in dropped]
-        for literal, watching in self._watches.items():
-            if any(id(c) in dropped for c in watching):
-                self._watches[literal] = [c for c in watching if id(c) not in dropped]
-        self.learned_dropped += len(dropped)
+        self._compact(dead)
+        self.learned_dropped += len(dead)
+        self._learned_live -= len(dead)
         self.db_reductions += 1
+        if self._debug:
+            self._check_arena()
 
-    def _attach_learned(self, literals: list[int]) -> _ClauseRef:
-        clause = _ClauseRef(list(literals), learned=True)
-        clause.activity = self._clause_increment
-        if len(literals) == 1:
+    def _compact(self, dead: set[int]) -> None:
+        """Rewrite the arena in place without ``dead`` and renumber ids.
+
+        Live literal runs slide toward the front of the arena (writes
+        never overtake reads because clauses only shrink away), headers
+        are rebuilt densely, and every clause-id reference — watcher
+        lists and assignment reasons — is remapped through the old->new
+        id table.
+        """
+        arena = self._arena
+        offsets = self._c_offset
+        sizes = self._c_size
+        learned_flags = self._c_learned
+        activities = self._c_activity
+        lbds = self._c_lbd
+        clause_total = len(offsets)
+        remap = [-1] * clause_total
+        new_offsets: list[int] = []
+        new_sizes: list[int] = []
+        new_learned = bytearray()
+        new_activities: list[float] = []
+        new_lbds: list[int] = []
+        write = 0
+        new_id = 0
+        for cid in range(clause_total):
+            if cid in dead:
+                continue
+            offset = offsets[cid]
+            size = sizes[cid]
+            if write != offset:
+                arena[write:write + size] = arena[offset:offset + size]
+            remap[cid] = new_id
+            new_offsets.append(write)
+            new_sizes.append(size)
+            new_learned.append(learned_flags[cid])
+            new_activities.append(activities[cid])
+            new_lbds.append(lbds[cid])
+            write += size
+            new_id += 1
+        del arena[write:]
+        self._c_offset = new_offsets
+        self._c_size = new_sizes
+        self._c_learned = new_learned
+        self._c_activity = new_activities
+        self._c_lbd = new_lbds
+        # Remap watcher lists in place, dropping entries of dead clauses.
+        for watchlist in self._watches:
+            write = 0
+            for read in range(0, len(watchlist), 2):
+                mapped = remap[watchlist[read]]
+                if mapped >= 0:
+                    watchlist[write] = mapped
+                    watchlist[write + 1] = watchlist[read + 1]
+                    write += 2
+            del watchlist[write:]
+        # Binary clauses are never dead (reduction only drops size > 2)
+        # but their ids still shift; the cid sits at odd positions here.
+        for binlist in self._bin_watches:
+            for index in range(1, len(binlist), 2):
+                binlist[index] = remap[binlist[index]]
+        # Remap reasons of *assigned* variables (stale entries of
+        # unassigned variables are never read before being overwritten).
+        var_reason = self._var_reason
+        for code in self._trail:
+            variable = code >> 1
+            reason = var_reason[variable]
+            if reason >= 0:
+                var_reason[variable] = remap[reason]
+
+    def _attach_learned(self, codes: list[int]) -> int:
+        """Store a learned clause; returns its id (-1 for learned units)."""
+        if self._certify:
+            self.proof.append(tuple(self._external(code) for code in codes))
+        if len(codes) == 1:
             # A learned unit is permanent level-0 knowledge: index it so
             # every later solve assigns it up front.
-            self._units.append(literals[0])
-        else:
-            self._learned.append(clause)
-            self._watch(clause, literals[0])
-            self._watch(clause, literals[1])
-        return clause
+            self._units.append(codes[0])
+            return -1
+        levels = self._var_level
+        lbd = len({levels[code >> 1] for code in codes})
+        cid = self._push_clause(codes, learned=True,
+                                activity=self._clause_increment, lbd=lbd)
+        self._learned_live += 1
+        return cid
 
     # ------------------------------------------------------------------
     # decisions and restarts
@@ -359,18 +722,20 @@ class SatSolver:
     def _pick_branch_variable(self) -> int | None:
         order = self._order
         activity = self._activity
-        assignment = self._assignment
+        values = self._values
         while order:
             negated, variable = heapq.heappop(order)
-            if variable in assignment:
+            if values[variable << 1] != 0:
                 continue
-            if -negated != activity.get(variable, 0.0):
+            if -negated != activity[variable]:
                 continue  # stale entry (activity bumped or rescaled since)
             return variable
         # Heap exhausted (e.g. after an activity rescale): rebuild it from
-        # the unassigned variables and try again.
-        entries = [(-activity.get(variable, 0.0), variable)
-                   for variable in self._variables if variable not in assignment]
+        # the unassigned registered variables and try again.
+        seen = self._var_seen
+        entries = [(-activity[variable], variable)
+                   for variable in range(1, len(seen))
+                   if seen[variable] and values[variable << 1] == 0]
         if not entries:
             return None
         heapq.heapify(entries)
@@ -400,34 +765,52 @@ class SatSolver:
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         """Solve the current clause database under optional assumptions.
 
-        The solver always returns with the trail fully unwound, so clauses
-        can be added and :meth:`solve` called again; learned clauses,
-        activities and saved phases persist between calls.
+        The solver always returns with the trail unwound to the root
+        level, so clauses can be added and :meth:`solve` called again.
+        Root-level (level-0) assignments are formula consequences and
+        **persist across calls** — a batch of assumption solves against a
+        stable database re-propagates nothing at the root — as do learned
+        clauses, activities and saved phases.
         """
-        self._queue_head = 0
+        self.solves += 1
+        base = (self.propagations, self.decisions, self.conflicts,
+                self.restarts, self.blocker_hits, self.watch_checks)
+        certify_empty = self._certify and not assumptions
         if self._has_empty:
-            return self._finish(False)
-        # Assign the indexed unit clauses at level 0.
-        for literal in self._units:
-            value = self._value(literal)
-            if value is False:
-                return self._finish(False)
-            if value is None:
-                self._assign(literal, None)
+            return self._finish(False, base, certify_empty)
+        values = self._values
+        # Assert units learned by earlier solves at the root level.
+        if self._units:
+            for code in self._units:
+                value = values[code]
+                if value < 0:
+                    self._has_empty = True
+                    return self._finish(False, base, certify_empty)
+                if value == 0:
+                    self._assign(code, -1)
+            del self._units[:]
+        # Propagate root assignments made since the last solve (clause
+        # intake, learned units); a root conflict is permanent.
         conflict = self._propagate()
-        if conflict is not None:
-            return self._finish(False)
+        if conflict >= 0:
+            self._has_empty = True
+            return self._finish(False, base, certify_empty)
 
         for literal in assumptions:
-            value = self._value(literal)
-            if value is False:
-                return self._finish(False)
-            if value is None:
+            if literal == 0:
+                raise ValueError("literal 0 is not allowed")
+            variable = abs(literal)
+            self._ensure_var(variable)
+            code = (literal << 1) if literal > 0 else (variable << 1) | 1
+            value = values[code]
+            if value < 0:
+                return self._finish(False, base, certify_empty)
+            if value == 0:
                 self._trail_limits.append(len(self._trail))
-                self._assign(literal, None)
+                self._assign(code, -1)
                 conflict = self._propagate()
-                if conflict is not None:
-                    return self._finish(False)
+                if conflict >= 0:
+                    return self._finish(False, base, certify_empty)
 
         assumption_levels = len(self._trail_limits)
         restart_count = 0
@@ -436,25 +819,36 @@ class SatSolver:
 
         while True:
             conflict = self._propagate()
-            if conflict is not None:
+            if conflict >= 0:
                 self.conflicts += 1
                 conflicts_since_restart += 1
                 if len(self._trail_limits) <= assumption_levels:
-                    return self._finish(False)
+                    # With no assumption levels this is a root conflict:
+                    # the database itself is unsatisfiable, permanently.
+                    # (Propagation stopped mid-conflict, so the root state
+                    # is not a fixpoint; latching _has_empty retires it.)
+                    if assumption_levels == 0:
+                        self._has_empty = True
+                    return self._finish(False, base, certify_empty)
                 learned, backjump_level = self._analyze(conflict)
                 if not learned or backjump_level < 0:
-                    return self._finish(False)
+                    if assumption_levels == 0:
+                        self._has_empty = True
+                    return self._finish(False, base, certify_empty)
                 backjump_level = max(backjump_level, assumption_levels)
                 self._unassign_to(backjump_level)
                 self._queue_head = len(self._trail)
-                learned_clause = self._attach_learned(learned)
-                value = self._value(learned[0])
-                if value is None:
-                    self._assign(learned[0], learned_clause if len(learned) > 1 else None)
-                elif value is False:
-                    return self._finish(False)
+                learned_cid = self._attach_learned(learned)
+                asserting = learned[0]
+                value = values[asserting]
+                if value == 0:
+                    self._assign(asserting, learned_cid)
+                elif value < 0:
+                    if assumption_levels == 0:
+                        self._has_empty = True
+                    return self._finish(False, base, certify_empty)
                 self._decay_activities()
-                if len(self._learned) >= self._max_learned:
+                if self._learned_live >= self._max_learned:
                     self._reduce_learned_db()
                 continue
 
@@ -473,38 +867,185 @@ class SatSolver:
 
             variable = self._pick_branch_variable()
             if variable is None:
-                model = dict(self._assignment)
-                return self._finish(True, model)
+                model = {code >> 1: not (code & 1) for code in self._trail}
+                return self._finish(True, base, False, model)
             self.decisions += 1
             self._trail_limits.append(len(self._trail))
             # Phase saving: re-try the polarity the variable last held;
             # first-time decisions default to False, which tends to work
             # well for BMC instances dominated by control logic.
             if self._saved_phase.get(variable, False):
-                self._assign(variable, None)
+                self._assign(variable << 1, -1)
             else:
-                self._assign(-variable, None)
+                self._assign((variable << 1) | 1, -1)
 
-    def _finish(self, satisfiable: bool, model: dict[int, bool] | None = None) -> SatResult:
+    def _finish(self, satisfiable: bool, base: tuple[int, ...],
+                certify_empty: bool,
+                model: dict[int, bool] | None = None) -> SatResult:
         self._reset()
+        if not satisfiable and certify_empty:
+            # An assumption-free UNSAT answer claims the empty clause is
+            # derivable; record it so the RUP checker can verify the claim.
+            self.proof.append(())
+        propagations = self.propagations - base[0]
+        checks = self.watch_checks - base[5]
+        hits = self.blocker_hits - base[4]
+        stats = {
+            "propagations": propagations,
+            "decisions": self.decisions - base[1],
+            "conflicts": self.conflicts - base[2],
+            "restarts": self.restarts - base[3],
+            "blocker_hits": hits,
+            "watch_checks": checks,
+            "blocker_hit_rate": (hits / checks) if checks else 0.0,
+            "clauses": self._problem_clauses,
+            "learned": self._learned_live,
+            "arena_literals": len(self._arena),
+        }
         return SatResult(satisfiable, model=model or {}, conflicts=self.conflicts,
-                         decisions=self.decisions, propagations=self.propagations)
+                         decisions=self.decisions, propagations=self.propagations,
+                         stats=stats)
 
     def _reset(self) -> None:
+        # Only the assumption/decision levels unwind; root-level
+        # assignments are formula consequences and persist, with the
+        # queue head parked past the fully propagated root prefix.
+        # Clause intake appends any new root assignments *behind* the
+        # head, so the next solve propagates exactly the new material.
         if self._trail_limits:
             self._unassign_to(0)
-        # Level-0 assignments (units) remain on the trail after unwinding
-        # to level 0; clear them as well so mid-life clause additions see a
-        # blank assignment.
-        while self._trail:
-            literal = self._trail.pop()
-            variable = abs(literal)
-            self._saved_phase[variable] = literal > 0
-            del self._assignment[variable]
-            del self._level[variable]
-            del self._reason[variable]
-            heapq.heappush(self._order, (-self._activity.get(variable, 0.0), variable))
-        self._queue_head = 0
+        self._queue_head = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # debug-mode invariant checking (the property-test battery's hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the solver's structural invariants.
+
+        Called automatically after every propagation fixpoint when the
+        solver was built with ``debug_checks=True``; callable directly by
+        tests.  Covers:
+
+        * **watch integrity** — every live clause of size >= 2 is watched
+          on exactly its first two arena literals, each watcher entry
+          references one of those two slots, and each blocker is a
+          literal of its clause;
+        * **blocker soundness / two-watch invariant** — at a conflict-free
+          fixpoint a watched literal may only be false if the clause is
+          satisfied (its blocker or the other watch is true); equivalently
+          every unresolved clause watches two non-false literals;
+        * **arena header consistency** — headers are contiguous, sorted
+          and exactly cover the arena (no holes survive compaction);
+        * **trail/decision-level monotonicity** — trail literals are all
+          true, levels never decrease along the trail, and level
+          boundaries match ``_trail_limits``.
+
+        A solver whose database is unsatisfiable (``_has_empty``) is
+        retired — a root conflict legitimately stops propagation short of
+        a fixpoint, every later solve short-circuits, and no watch state
+        is ever read again — so only the arena structure is checked.
+        """
+        self._check_arena()
+        if self._has_empty:
+            return
+        self._check_watches()
+        self._check_trail()
+
+    def _check_arena(self) -> None:
+        offsets = self._c_offset
+        sizes = self._c_size
+        expected = 0
+        for cid in range(len(offsets)):
+            assert offsets[cid] == expected, (
+                f"arena hole before clause {cid}: offset {offsets[cid]}, "
+                f"expected {expected}")
+            assert sizes[cid] >= 2, f"arena clause {cid} has size {sizes[cid]}"
+            expected += sizes[cid]
+        assert expected == len(self._arena), (
+            f"arena headers cover {expected} literals, arena has "
+            f"{len(self._arena)}")
+
+    def _check_watches(self) -> None:
+        arena = self._arena
+        offsets = self._c_offset
+        sizes = self._c_size
+        values = self._values
+        watched: dict[int, list[int]] = {}
+        for code, watchlist in enumerate(self._watches):
+            assert len(watchlist) % 2 == 0
+            for index in range(0, len(watchlist), 2):
+                cid = watchlist[index]
+                blocker = watchlist[index + 1]
+                assert sizes[cid] >= 3, (
+                    f"binary clause {cid} found in a large watcher list")
+                offset = offsets[cid]
+                clause = arena[offset:offset + sizes[cid]]
+                assert code in (clause[0], clause[1]), (
+                    f"clause {cid} watched on literal {code} which is not in "
+                    f"its first two slots {clause[0]}, {clause[1]}")
+                assert blocker in clause, (
+                    f"watcher of clause {cid} caches blocker {blocker} "
+                    f"not in the clause")
+                # Blocker soundness: a false watched literal must be
+                # excused by a true blocker (the skip that kept it).
+                assert values[code] >= 0 or values[blocker] > 0, (
+                    f"clause {cid}: watched literal {code} is false and its "
+                    f"blocker {blocker} is not true")
+                watched.setdefault(cid, []).append(code)
+        for code, binlist in enumerate(self._bin_watches):
+            assert len(binlist) % 2 == 0
+            for index in range(0, len(binlist), 2):
+                other = binlist[index]
+                cid = binlist[index + 1]
+                assert sizes[cid] == 2, (
+                    f"clause {cid} (size {sizes[cid]}) found in a binary "
+                    f"watcher list")
+                offset = offsets[cid]
+                clause = arena[offset:offset + 2]
+                assert sorted((code, other)) == sorted(clause), (
+                    f"binary watch entry ({code}, {other}) does not match "
+                    f"clause {cid} literals {tuple(clause)}")
+                watched.setdefault(cid, []).append(code)
+        for cid in range(len(offsets)):
+            offset = offsets[cid]
+            clause = arena[offset:offset + sizes[cid]]
+            watchers = sorted(watched.get(cid, []))
+            assert watchers == sorted((clause[0], clause[1])), (
+                f"clause {cid} watchers {watchers} != first two literals "
+                f"{sorted((clause[0], clause[1]))}")
+            # Two-watch invariant: an unresolved clause watches two
+            # non-false literals.
+            if not any(values[code] > 0 for code in clause):
+                assert values[clause[0]] == 0 and values[clause[1]] == 0, (
+                    f"unresolved clause {cid} watches a false literal")
+
+    def _check_trail(self) -> None:
+        values = self._values
+        levels = self._var_level
+        limits = self._trail_limits
+        previous_level = 0
+        seen_vars: set[int] = set()
+        for position, code in enumerate(self._trail):
+            variable = code >> 1
+            assert values[code] == 1, (
+                f"trail literal {code} at position {position} is not true")
+            assert variable not in seen_vars, (
+                f"variable {variable} appears twice on the trail")
+            seen_vars.add(variable)
+            level = levels[variable]
+            assert level >= previous_level, (
+                f"trail level decreased: {previous_level} -> {level} at "
+                f"position {position}")
+            previous_level = level
+        for index, limit in enumerate(limits):
+            assert 0 <= limit <= len(self._trail)
+            if index:
+                assert limit >= limits[index - 1], "trail limits not monotonic"
+            if limit < len(self._trail):
+                decision_level = levels[self._trail[limit] >> 1]
+                assert decision_level == index + 1, (
+                    f"decision at trail position {limit} has level "
+                    f"{decision_level}, expected {index + 1}")
 
 
 def solve_clauses(clauses: Iterable[Clause], variable_count: int = 0,

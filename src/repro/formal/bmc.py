@@ -136,12 +136,16 @@ class BmcModelChecker:
     name = "bmc"
 
     def __init__(self, module: Module, bound: int = 10, use_induction: bool = True,
-                 incremental: bool = True, max_learned: int = 4000):
+                 incremental: bool = True, max_learned: int = 4000,
+                 solver_cls: type = SatSolver):
         self.module = module
         self.bound = bound
         self.use_induction = use_induction
         self.incremental = incremental
         self._max_learned = max_learned
+        #: Backing SAT solver class for both execution modes; the arena
+        #: solver by default, LegacySatSolver for differential baselines.
+        self._solver_cls = solver_cls
         self._synth = synthesize(module)
         self._unroller = Unroller(module, self._synth, cache=incremental)
         #: ``from_reset`` flag -> persistent solver context (incremental mode).
@@ -156,12 +160,19 @@ class BmcModelChecker:
     def _context(self, from_reset: bool) -> IncrementalSolver:
         context = self._contexts.get(from_reset)
         if context is None:
-            context = IncrementalSolver(max_learned=self._max_learned)
+            context = IncrementalSolver(max_learned=self._max_learned,
+                                        solver_cls=self._solver_cls)
             self._contexts[from_reset] = context
         return context
 
     def reuse_stats(self) -> dict[str, int]:
-        """Aggregate reuse counters over both persistent contexts."""
+        """Aggregate reuse counters over both persistent contexts.
+
+        Alongside the encoder-reuse counters, the arena solver's own
+        lifetime counters are surfaced under ``sat_*`` keys (propagations,
+        conflicts, blocker hits, ...).  All values are plain ints so the
+        parallel pool's per-worker sum-merge applies to them unchanged.
+        """
         merged = ReuseCounters()
         for context in self._contexts.values():
             merged.merge(context.counters)
@@ -172,6 +183,13 @@ class BmcModelChecker:
             context.solver.learned_count for context in self._contexts.values())
         stats["learned_dropped"] = sum(
             context.solver.learned_dropped for context in self._contexts.values())
+        for context in self._contexts.values():
+            totals = getattr(context.solver, "stats_total", None)
+            if totals is None:  # e.g. LegacySatSolver baseline
+                continue
+            for key, value in totals().items():
+                key = f"sat_{key}"
+                stats[key] = stats.get(key, 0) + int(value)
         return stats
 
     # ------------------------------------------------------------------
@@ -225,7 +243,7 @@ class BmcModelChecker:
             else:
                 builder = CnfBuilder()
                 builder.assert_expr(violation)
-                solver = SatSolver(builder.clauses, builder.variable_count)
+                solver = self._solver_cls(builder.clauses, builder.variable_count)
                 result = solver.solve()
                 model = None
                 if result.satisfiable:
@@ -391,6 +409,6 @@ class BmcModelChecker:
             return not result.satisfiable
         builder = CnfBuilder()
         builder.assert_expr(violation)
-        solver = SatSolver(builder.clauses, builder.variable_count)
+        solver = self._solver_cls(builder.clauses, builder.variable_count)
         result = solver.solve()
         return not result.satisfiable

@@ -78,10 +78,12 @@ class VerifierStatistics:
     cache_hits: int = 0
     per_assertion_seconds: list[float] = field(default_factory=list)
     #: Incremental-engine reuse counters (clauses reused, learned clauses
-    #: carried over, Tseitin encode cache hits, ...), mirrored from the
-    #: engine's ``reuse_stats()`` after every check; parallel pools merge
-    #: every worker's counters and add dispatch/worker totals, and a
-    #: configured proof cache contributes its hit/miss counters.  Empty
+    #: carried over, Tseitin encode cache hits, ...) plus the SAT core's
+    #: lifetime counters under ``sat_*`` keys (propagations, conflicts,
+    #: blocker hits, watch checks, ...), mirrored from the engine's
+    #: ``reuse_stats()`` after every check; parallel pools merge every
+    #: worker's counters by summation and add dispatch/worker totals, and
+    #: a configured proof cache contributes its hit/miss counters.  Empty
     #: for serial engines without a persistent solver context.
     reuse: dict[str, int] = field(default_factory=dict)
 

@@ -193,7 +193,12 @@ class FormalWorkerPool:
 
     # ------------------------------------------------------------------
     def reuse_stats(self) -> dict[str, int]:
-        """Engine reuse counters summed over every worker, plus pool totals."""
+        """Engine reuse counters summed over every worker, plus pool totals.
+
+        Whatever int-valued counters the engine reports — including the
+        SAT core's ``sat_*`` instrumentation — merge by summation, so the
+        result reads as cluster-wide totals.
+        """
         merged: dict[str, int] = {}
         if self._processes is not None:
             for worker in range(self.workers):
