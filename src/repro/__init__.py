@@ -66,7 +66,7 @@ from repro.sim import (
     create_simulator,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Assertion",

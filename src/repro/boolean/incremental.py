@@ -91,8 +91,15 @@ class IncrementalSolver:
         """Permanently constrain ``expr`` to hold in every later query."""
         self.builder.assert_expr(expr)
 
-    def solve_query(self, goal: BoolExpr) -> tuple[SatResult, int]:
+    def solve_query(self, goal: BoolExpr,
+                    assumptions: tuple[int, ...] = ()) -> tuple[SatResult, int]:
         """Solve for ``goal`` under a fresh activation literal.
+
+        ``assumptions`` are extra literals assumed for this query only —
+        typically guards from :meth:`guard_expr`, which lets a set of
+        strengthening constraints (e.g. k-induction's simple-path
+        uniqueness clauses) be encoded once and switched on per query
+        without ever becoming permanent.
 
         Returns the solver result and the activation literal; pass the
         literal to :meth:`retire` once the query's outcome has been
@@ -109,8 +116,24 @@ class IncrementalSolver:
         self.counters.encode_cache_hits += self.builder.encode_cache_hits - hits_before
         self.counters.encode_calls += self.builder.encode_calls - calls_before
         self._flush()
-        result = self.solver.solve(assumptions=[activation])
+        result = self.solver.solve(assumptions=[activation, *assumptions])
         return result, activation
+
+    def guard_expr(self, expr: BoolExpr) -> int:
+        """Encode ``expr`` behind a reusable guard literal.
+
+        Adds the single clause ``guard → expr`` and returns ``guard``
+        without asserting it: pass the literal in ``solve_query``'s
+        ``assumptions`` to enable the constraint for that query only.
+        Unlike :meth:`solve_query`'s activation literal, a guard is never
+        retired — the same literal can switch the constraint on across
+        arbitrarily many later queries.
+        """
+        guard_literal = self.builder.encode(expr)
+        guard = self.builder.fresh()
+        self.builder.add_clause((-guard, guard_literal))
+        self._flush()
+        return guard
 
     def retire(self, activation: int) -> None:
         """Permanently deactivate a query's guard (unit ``¬activation``)."""

@@ -21,8 +21,13 @@ class GoldMineConfig:
       visible to the miner (Section 3.1's "flat single-cycle picture").
     * ``engine`` — formal back end: ``explicit`` (exact, default), ``bmc``
       (incremental SAT, one persistent solver context per design),
-      ``bmc-fresh`` (cold solver per query, the differential baseline) or
-      ``bdd``.
+      ``bmc-fresh`` (cold solver per query, the differential baseline),
+      ``k-induction`` (BMC base case + simple-path inductive step, proves
+      assertions *unbounded*), ``tiered`` (portfolio: BMC falsification
+      tier, then induction escalation for proof) or ``bdd``.
+    * ``induction_k`` — maximum induction depth for the ``k-induction``
+      and ``tiered`` engines (ignored by the others).  Larger values
+      prove more assertions at the cost of deeper step queries.
     * ``max_iterations`` — safety bound on counterexample iterations.
     * ``random_cycles`` / ``random_seed`` — the data generator's random
       stimulus phase (Section 2.1 simulates "a fixed number of cycles using
@@ -61,6 +66,7 @@ class GoldMineConfig:
     include_internal_state: bool = True
     engine: str = "explicit"
     bound: int = 10
+    induction_k: int = 8
     max_iterations: int = 64
     random_cycles: int = 0
     random_seed: int = 0
@@ -90,6 +96,8 @@ class GoldMineConfig:
             raise ValueError("sim_lanes must be at least 1")
         if self.formal_workers < 1:
             raise ValueError("formal_workers must be at least 1")
+        if self.induction_k < 0:
+            raise ValueError("induction_k cannot be negative")
         from repro.mining import MINE_ENGINES
 
         if self.mine_engine not in MINE_ENGINES:

@@ -73,6 +73,7 @@ class GoldMine:
             bound=self.config.bound,
             max_states=self.config.max_states,
             max_input_combinations=self.config.max_input_combinations,
+            induction_k=self.config.induction_k,
             workers=self.config.formal_workers,
             proof_cache=ProofCache.resolve(self.config.formal_proof_cache),
         )

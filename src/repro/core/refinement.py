@@ -29,7 +29,7 @@ from repro.assertions.assertion import Assertion, combined_input_space_coverage
 from repro.core.config import GoldMineConfig
 from repro.core.goldmine import GoldMine
 from repro.core.results import ClosureResult, IterationRecord, TestSequence
-from repro.formal.result import Counterexample
+from repro.formal.result import PROOF_BOUNDED, Counterexample
 from repro.hdl.module import Module
 from repro.mining import create_decision_tree
 from repro.sim.simulator import Simulator
@@ -227,6 +227,11 @@ class CoverageClosure:
                 if check.is_true:
                     context.proven.append(named)
                     record.new_true_assertions.append(named)
+                    # Accepted assertions carry their proof strength into
+                    # the result JSON; a TRUE without one (defensive only)
+                    # is demoted to bounded, never silently upgraded.
+                    result.proof_strength[named.name] = \
+                        check.proof_strength or PROOF_BOUNDED
                 elif check.is_false:
                     context.failed.add(candidate)
                     record.failed_assertions.append(named)

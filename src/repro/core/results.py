@@ -89,6 +89,12 @@ class ClosureResult:
     #: encode cache hits) captured from the verifier; empty for engines
     #: without a persistent solver context.
     formal_reuse: dict[str, int] = field(default_factory=dict)
+    #: Assertion name -> ``"unbounded"`` (real proof: exact engine or
+    #: inductive argument) or ``"bounded"`` (survived the bounded search
+    #: only).  Covers every assertion accepted as true; part of the
+    #: deterministic payload — proof strength is a verdict property, not
+    #: telemetry.
+    proof_strength: dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -150,6 +156,7 @@ class ClosureResult:
             "formal_checks": self.formal_checks,
             "formal_seconds": self.formal_seconds,
             "formal_reuse": dict(self.formal_reuse),
+            "proof_strength": dict(self.proof_strength),
         }
 
     def deterministic_json(self) -> dict:
@@ -187,6 +194,8 @@ class ClosureResult:
             formal_seconds=data.get("formal_seconds", 0.0),
             formal_reuse={str(k): int(v)
                           for k, v in data.get("formal_reuse", {}).items()},
+            proof_strength={str(k): str(v)
+                            for k, v in data.get("proof_strength", {}).items()},
         )
         return result
 

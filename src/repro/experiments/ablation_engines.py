@@ -54,6 +54,7 @@ def _collect_assertions(design_name: str, seed_cycles: int, random_seed: int,
                         max_iterations: int, include_failed: bool = True,
                         sim_engine: str = "scalar", sim_lanes: int = 64,
                         formal_engine: str = "explicit",
+                        induction_k: int = 8,
                         mine_engine: str = "rowwise",
                         formal_workers: int = 1,
                         proof_cache: bool | str = False) -> tuple:
@@ -62,7 +63,7 @@ def _collect_assertions(design_name: str, seed_cycles: int, random_seed: int,
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine,
+                            engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
@@ -80,6 +81,7 @@ def run(designs: Sequence[str] = ("arbiter2", "arbiter4", "b01"),
         max_assertions_per_design: int = 40,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> list[EngineComparison]:
@@ -89,6 +91,7 @@ def run(designs: Sequence[str] = ("arbiter2", "arbiter4", "b01"),
         module, assertions = _collect_assertions(
             design_name, seed_cycles, random_seed, max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        induction_k=induction_k,
             mine_engine=mine_engine, formal_workers=formal_workers,
             proof_cache=proof_cache,
         )

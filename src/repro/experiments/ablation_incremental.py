@@ -51,6 +51,7 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                  random_seed: int, max_iterations: int,
                  sim_engine: str = "scalar", sim_lanes: int = 64,
                  formal_engine: str = "explicit",
+                 induction_k: int = 8,
                  mine_engine: str = "rowwise",
                  formal_workers: int = 1,
                  proof_cache: bool | str = False) -> tuple[VariantOutcome, set]:
@@ -58,7 +59,7 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine,
+                            engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=[output], config=config,
@@ -84,6 +85,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         max_iterations: int = 24,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> AblationResult:
@@ -92,12 +94,14 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         design_name, output, rebuild=False, seed_cycles=seed_cycles,
         random_seed=random_seed, max_iterations=max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
         proof_cache=proof_cache)
     rebuilt, rebuilt_set = _run_variant(
         design_name, output, rebuild=True, seed_cycles=seed_cycles,
         random_seed=random_seed, max_iterations=max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
         proof_cache=proof_cache)
     result = AblationResult(design=design_name, output=output,

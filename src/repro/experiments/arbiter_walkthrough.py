@@ -46,6 +46,7 @@ class WalkthroughResult:
 def run(window: int = 2, max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> WalkthroughResult:
@@ -56,7 +57,7 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     max_iterations=max_iterations,
                                                     sim_engine=sim_engine,
                                                     sim_lanes=sim_lanes,
-                                                    engine=formal_engine,
+                                                    engine=formal_engine, induction_k=induction_k,
                                                     mine_engine=mine_engine,
                                                     formal_workers=formal_workers,
                                                     formal_proof_cache=proof_cache))

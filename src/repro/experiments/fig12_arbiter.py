@@ -64,6 +64,7 @@ class Fig12Result:
 def run(window: int = 2, max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> Fig12Result:
@@ -80,7 +81,7 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     max_iterations=max_iterations,
                                                     sim_engine=sim_engine,
                                                     sim_lanes=sim_lanes,
-                                                    engine=formal_engine,
+                                                    engine=formal_engine, induction_k=induction_k,
                                                     mine_engine=mine_engine,
                                                     formal_workers=formal_workers,
                                                     formal_proof_cache=proof_cache))

@@ -74,6 +74,7 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
         bias: dict[str, float] | None = None,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> Fig15Result:
@@ -95,7 +96,7 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             random_seed=random_seed,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine,
+                            engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)

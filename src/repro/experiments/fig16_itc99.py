@@ -82,6 +82,7 @@ def run(designs: Sequence[str] | None = None,
         sim_engine: str = "scalar",
         sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> Fig16Result:
@@ -118,7 +119,7 @@ def run(designs: Sequence[str] | None = None,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 max_depth=max_depth, sim_engine=sim_engine,
-                                sim_lanes=sim_lanes, engine=formal_engine,
+                                sim_lanes=sim_lanes, engine=formal_engine, induction_k=induction_k,
                                 mine_engine=mine_engine,
                                 formal_workers=formal_workers,
                                 formal_proof_cache=proof_cache)

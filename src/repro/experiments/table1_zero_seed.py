@@ -92,6 +92,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         window: int | None = None, max_iterations: int = 24,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> Table1Result:
@@ -104,7 +105,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             window=window if window is not None else meta.window,
             max_iterations=max_iterations,
             sim_engine=sim_engine, sim_lanes=sim_lanes,
-            engine=formal_engine, mine_engine=mine_engine,
+            engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
             formal_workers=formal_workers, formal_proof_cache=proof_cache,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)

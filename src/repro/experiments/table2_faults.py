@@ -76,6 +76,7 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
                          max_iterations: int,
                          sim_engine: str = "scalar", sim_lanes: int = 64,
                          formal_engine: str = "explicit",
+                         induction_k: int = 8,
                          mine_engine: str = "rowwise",
                          formal_workers: int = 1,
                          proof_cache: bool | str = False):
@@ -89,7 +90,7 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
     module = meta.build()
     config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
-                            engine=formal_engine, mine_engine=mine_engine,
+                            engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache)
     closure = CoverageClosure(module, outputs=None, config=config)
@@ -104,6 +105,7 @@ def run(design_name: str = "fetch",
         mode: str = "formal",
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> Table2Result:
@@ -111,6 +113,7 @@ def run(design_name: str = "fetch",
     module, closure_result = mine_assertion_suite(
         design_name, seed_cycles, random_seed, max_iterations,
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
+        induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
         proof_cache=proof_cache,
     )
@@ -126,7 +129,7 @@ def run(design_name: str = "fetch",
         # The campaign's per-mutant model checking honours the same formal
         # execution knobs as the mining phase (engine, worker pool, proof
         # cache).
-        config=GoldMineConfig(engine=formal_engine,
+        config=GoldMineConfig(engine=formal_engine, induction_k=induction_k,
                               formal_workers=formal_workers,
                               formal_proof_cache=proof_cache),
         test_suite=closure_result.test_suite if mode == "simulation" else None,

@@ -64,6 +64,7 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         max_iterations: int = 16,
         sim_engine: str = "scalar", sim_lanes: int = 64,
         formal_engine: str = "explicit",
+        induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         proof_cache: bool | str = False) -> Table3Result:
@@ -103,7 +104,7 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         module = meta.build()
         config = GoldMineConfig(window=meta.window, max_iterations=max_iterations,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
-                                engine=formal_engine, mine_engine=mine_engine,
+                                engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                                 formal_workers=formal_workers,
                                 formal_proof_cache=proof_cache)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,

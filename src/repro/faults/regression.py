@@ -125,6 +125,7 @@ def run_fault_campaign(module: Module, assertions: Sequence[Assertion],
                 bound=config.bound,
                 max_states=config.max_states,
                 max_input_combinations=config.max_input_combinations,
+                induction_k=config.induction_k,
                 workers=config.formal_workers,
                 proof_cache=proof_cache,
             )

@@ -15,6 +15,13 @@ fails:
   cold-solver path, exposed as the ``bmc-fresh`` engine name).
 * :mod:`repro.formal.bdd_engine` — BDD-based symbolic reachability with
   ring-by-ring counterexample reconstruction.
+* :mod:`repro.formal.induction` — strengthened k-induction on the same
+  persistent contexts (``k-induction``), and the ``tiered`` portfolio
+  (BMC falsification tier + induction proof tier).  These are the
+  unbounded proof tier: every result carries a ``proof_strength``
+  (``unbounded`` for real proofs, ``bounded`` for survived-the-search
+  verdicts) that flows through the worker protocol, the proof cache and
+  the closure-result JSON.
 
 :class:`repro.formal.checker.FormalVerifier` is the facade the rest of the
 library uses; it selects an engine and keeps per-run statistics (number of
@@ -41,13 +48,20 @@ which is the invariant both layers rest on.
 from repro.formal.bmc import BmcModelChecker
 from repro.formal.checker import FormalVerifier, VerifierStatistics, build_engine
 from repro.formal.explicit import ExplicitModelChecker
+from repro.formal.induction import KInductionModelChecker, TieredModelChecker
 from repro.formal.parallel import FormalWorkerPool
 from repro.formal.proofcache import (
     ProofCache,
     canonical_assertion_key,
     design_fingerprint,
 )
-from repro.formal.result import CheckResult, Counterexample, FormalEngineError
+from repro.formal.result import (
+    PROOF_BOUNDED,
+    PROOF_UNBOUNDED,
+    CheckResult,
+    Counterexample,
+    FormalEngineError,
+)
 from repro.formal.statespace import StateSpace
 
 __all__ = [
@@ -58,8 +72,12 @@ __all__ = [
     "FormalEngineError",
     "FormalVerifier",
     "FormalWorkerPool",
+    "KInductionModelChecker",
+    "PROOF_BOUNDED",
+    "PROOF_UNBOUNDED",
     "ProofCache",
     "StateSpace",
+    "TieredModelChecker",
     "VerifierStatistics",
     "build_engine",
     "canonical_assertion_key",

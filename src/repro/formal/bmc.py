@@ -227,35 +227,52 @@ class BmcModelChecker:
         span = assertion.consequent.cycle + 1
         design = self._unroller.unroll(depth, from_reset=True)
         for window_start in range(depth - span + 2):
-            shifted = _shift(assertion, window_start)
-            violation = design.assertion_violation(shifted)
-            needed = window_start + span
-            if self.incremental:
-                context = self._context(True)
-                result, activation = context.solve_query(violation)
-                model = None
-                if result.satisfiable:
-                    model = self._canonical_model(
-                        context.builder, context.solver, design, needed,
-                        shifted, violation, result.model,
-                        assumptions=[activation])
-                context.retire(activation)
-            else:
-                builder = CnfBuilder()
-                builder.assert_expr(violation)
-                solver = self._solver_cls(builder.clauses, builder.variable_count)
-                result = solver.solve()
-                model = None
-                if result.satisfiable:
-                    model = self._canonical_model(builder, solver, design, needed,
-                                                  shifted, violation, result.model)
-            if model is not None:
-                vectors = design.model_to_vectors(model)
-                return Counterexample(
-                    input_vectors=tuple(vectors[:max(needed, 1)]),
-                    window_start=window_start,
-                    assertion=assertion,
-                )
+            counterexample = self._window_violation(design, assertion, window_start)
+            if counterexample is not None:
+                return counterexample
+        return None
+
+    def _window_violation(self, design, assertion: Assertion,
+                          window_start: int) -> Counterexample | None:
+        """One from-reset violation query: window anchored at ``window_start``.
+
+        The violation expression only references cycles up to
+        ``window_start + span - 1``, and the canonical counterexample is
+        truncated to the cycles the window needs, so the outcome — verdict
+        and witness alike — is independent of how deep ``design`` happens
+        to be unrolled.  The k-induction engine relies on this to extend
+        the base case window by window on the same persistent context.
+        """
+        span = assertion.consequent.cycle + 1
+        shifted = _shift(assertion, window_start)
+        violation = design.assertion_violation(shifted)
+        needed = window_start + span
+        if self.incremental:
+            context = self._context(True)
+            result, activation = context.solve_query(violation)
+            model = None
+            if result.satisfiable:
+                model = self._canonical_model(
+                    context.builder, context.solver, design, needed,
+                    shifted, violation, result.model,
+                    assumptions=[activation])
+            context.retire(activation)
+        else:
+            builder = CnfBuilder()
+            builder.assert_expr(violation)
+            solver = self._solver_cls(builder.clauses, builder.variable_count)
+            result = solver.solve()
+            model = None
+            if result.satisfiable:
+                model = self._canonical_model(builder, solver, design, needed,
+                                              shifted, violation, result.model)
+        if model is not None:
+            vectors = design.model_to_vectors(model)
+            return Counterexample(
+                input_vectors=tuple(vectors[:max(needed, 1)]),
+                window_start=window_start,
+                assertion=assertion,
+            )
         return None
 
     # ------------------------------------------------------------------

@@ -33,15 +33,22 @@ from typing import Mapping
 from repro.assertions.assertion import Assertion, Verdict
 from repro.formal.bmc import BmcModelChecker
 from repro.formal.explicit import ExplicitModelChecker
+from repro.formal.induction import KInductionModelChecker, TieredModelChecker
 from repro.formal.proofcache import ProofCache, design_fingerprint
-from repro.formal.result import CheckResult, FormalEngineError
+from repro.formal.result import (
+    PROOF_BOUNDED,
+    PROOF_UNBOUNDED,
+    CheckResult,
+    FormalEngineError,
+)
 from repro.hdl.module import Module
 
 
 def build_engine(module: Module, name: str, bound: int = 10,
                  max_states: int = 50_000,
                  max_input_combinations: int = 4_096,
-                 pinned_inputs: Mapping[str, int] | None = None):
+                 pinned_inputs: Mapping[str, int] | None = None,
+                 induction_k: int = 8):
     """Construct one formal engine by name.
 
     Shared by :class:`FormalVerifier` and the parallel pool's workers
@@ -59,6 +66,12 @@ def build_engine(module: Module, name: str, bound: int = 10,
         return BmcModelChecker(module, bound=bound, incremental=True)
     if name == "bmc-fresh":
         return BmcModelChecker(module, bound=bound, incremental=False)
+    if name == "k-induction":
+        return KInductionModelChecker(module, bound=bound,
+                                      induction_k=induction_k, incremental=True)
+    if name == "tiered":
+        return TieredModelChecker(module, bound=bound,
+                                  induction_k=induction_k, incremental=True)
     if name == "bdd":
         from repro.formal.bdd_engine import BddModelChecker
 
@@ -74,6 +87,12 @@ class VerifierStatistics:
     true_count: int = 0
     false_count: int = 0
     unknown_count: int = 0
+    #: Results carrying ``proof_strength="unbounded"`` — real proofs
+    #: (exact engines, inductive arguments), a subset of ``true_count``.
+    unbounded_proofs: int = 0
+    #: Results carrying ``proof_strength="bounded"`` — survived a bounded
+    #: search only (SAT-engine UNKNOWNs, pre-proof-strength cache entries).
+    bounded_passes: int = 0
     total_seconds: float = 0.0
     cache_hits: int = 0
     per_assertion_seconds: list[float] = field(default_factory=list)
@@ -103,6 +122,10 @@ class VerifierStatistics:
             self.false_count += 1
         else:
             self.unknown_count += 1
+        if result.proof_strength == PROOF_UNBOUNDED:
+            self.unbounded_proofs += 1
+        elif result.proof_strength == PROOF_BOUNDED:
+            self.bounded_passes += 1
 
     def to_json(self) -> dict:
         """Plain-dict form for run artifacts (per-check seconds elided)."""
@@ -111,6 +134,8 @@ class VerifierStatistics:
             "true_count": self.true_count,
             "false_count": self.false_count,
             "unknown_count": self.unknown_count,
+            "unbounded_proofs": self.unbounded_proofs,
+            "bounded_passes": self.bounded_passes,
             "total_seconds": self.total_seconds,
             "cache_hits": self.cache_hits,
             "average_seconds": self.average_seconds,
@@ -125,7 +150,12 @@ class FormalVerifier:
     per unrolling, activation-literal queries); ``bmc-fresh`` is the
     historical cold-solver variant kept for differential testing and
     benchmarking.  Both produce identical verdicts and counterexample
-    windows.
+    windows.  ``k-induction`` adds the simple-path inductive step on a
+    second persistent context (``induction_k`` caps the induction depth)
+    so surviving assertions become real ``unbounded`` proofs, and
+    ``tiered`` is the portfolio — full BMC falsification tier first,
+    induction escalation for proof — with verdicts and counterexamples
+    identical to both tiers run independently.
 
     ``workers`` selects how checks execute: ``1`` (default) runs the
     engine in-process, ``> 1`` fans batches out to that many persistent
@@ -137,7 +167,7 @@ class FormalVerifier:
     lazily after a close.
     """
 
-    ENGINES = ("explicit", "bmc", "bmc-fresh", "bdd")
+    ENGINES = ("explicit", "bmc", "bmc-fresh", "k-induction", "tiered", "bdd")
 
     def __init__(self, module: Module, engine: str = "explicit",
                  cross_check_engine: str | None = None,
@@ -145,6 +175,7 @@ class FormalVerifier:
                  max_states: int = 50_000,
                  max_input_combinations: int = 4_096,
                  pinned_inputs: Mapping[str, int] | None = None,
+                 induction_k: int = 8,
                  workers: int = 1,
                  proof_cache: ProofCache | None = None):
         if engine not in self.ENGINES:
@@ -164,6 +195,7 @@ class FormalVerifier:
             "max_states": max_states,
             "max_input_combinations": max_input_combinations,
             "pinned_inputs": dict(pinned_inputs) if pinned_inputs else None,
+            "induction_k": induction_k,
         }
         self._cache: dict[Assertion, CheckResult] = {}
         # Engines, the worker pool and the design fingerprint are all built
@@ -215,6 +247,9 @@ class FormalVerifier:
         """
         if self.engine_name in ("bmc", "bmc-fresh"):
             return f"{self.engine_name}:bound={self._engine_kwargs['bound']}"
+        if self.engine_name in ("k-induction", "tiered"):
+            return (f"{self.engine_name}:bound={self._engine_kwargs['bound']}"
+                    f":k={self._engine_kwargs['induction_k']}")
         if self.engine_name == "explicit":
             pinned = self._engine_kwargs["pinned_inputs"] or {}
             pinned_key = ",".join(f"{name}={value}"

@@ -21,7 +21,10 @@ of **persistent** verification worker processes:
   produces canonical, history-independent results (verdict by SAT
   semantics, counterexamples canonicalised — see
   :mod:`repro.formal.bmc`), the merged batch is identical to what the
-  serial engine would have produced, for any worker count.
+  serial engine would have produced, for any worker count.  The whole
+  :class:`~repro.formal.result.CheckResult` crosses the protocol —
+  including the ``proof_strength`` field the k-induction/tiered engines
+  set — so proof strength survives sharding byte-for-byte.
 
 The pool prefers the ``fork`` start method (mirroring
 :mod:`repro.runner.pool`): workers inherit the already-elaborated module

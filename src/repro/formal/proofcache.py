@@ -36,10 +36,13 @@ import threading
 from pathlib import Path
 
 from repro.assertions.assertion import Assertion, Literal, Verdict
-from repro.formal.result import CheckResult, Counterexample
+from repro.formal.result import PROOF_BOUNDED, CheckResult, Counterexample
 from repro.hdl.module import Module
 
-#: Bump when the entry schema changes; mismatched files are ignored.
+#: Bump when the entry schema changes *incompatibly*; mismatched files are
+#: ignored wholesale.  Additive optional keys (e.g. ``proof_strength``)
+#: must NOT bump this — old caches stay loadable, with the missing key
+#: defaulted conservatively in :func:`_result_from_json`.
 CACHE_SCHEMA_VERSION = 1
 
 
@@ -132,6 +135,8 @@ def _counterexample_from_json(data: dict, assertion: Assertion) -> Counterexampl
 
 def _result_to_json(result: CheckResult) -> dict:
     entry: dict = {"verdict": result.verdict.value, "engine": result.engine}
+    if result.proof_strength is not None:
+        entry["proof_strength"] = result.proof_strength
     if result.details:
         entry["details"] = dict(result.details)
     if result.counterexample is not None:
@@ -143,13 +148,23 @@ def _result_from_json(entry: dict, assertion: Assertion) -> CheckResult:
     counterexample = None
     if entry.get("counterexample") is not None:
         counterexample = _counterexample_from_json(entry["counterexample"], assertion)
+    verdict = Verdict(entry["verdict"])
+    # Entries persisted before the proof-strength field carry no
+    # ``proof_strength`` key.  They are conservatively loaded as
+    # ``bounded`` — never silently upgraded to a proof the engine that
+    # wrote them did not make — for every non-FALSE verdict (FALSE
+    # verdicts have a witness and no strength, matching live results).
+    strength = entry.get("proof_strength")
+    if strength is None and verdict is not Verdict.FALSE:
+        strength = PROOF_BOUNDED
     return CheckResult(
         assertion=assertion,
-        verdict=Verdict(entry["verdict"]),
+        verdict=verdict,
         counterexample=counterexample,
         engine=entry.get("engine", ""),
         seconds=0.0,
         details=dict(entry.get("details", {})),
+        proof_strength=strength,
     )
 
 

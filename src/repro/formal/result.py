@@ -8,6 +8,18 @@ from typing import Mapping, Sequence
 from repro.assertions.assertion import Assertion, Verdict
 from repro.hdl.errors import HdlError
 
+#: Proof-strength values a :class:`CheckResult` may carry.
+#:
+#: ``unbounded`` — the verdict is a real proof over every reachable
+#: behaviour: an exact engine (explicit-state, BDD reachability) said so,
+#: or an inductive argument (the BMC engine's one-step induction, the
+#: k-induction engine's strengthened step) closed the property for all
+#: depths.  ``bounded`` — the assertion merely survived a bounded search
+#: ("no counterexample up to k"), which is evidence, not proof.  ``FALSE``
+#: verdicts carry no strength: a counterexample is a counterexample.
+PROOF_UNBOUNDED = "unbounded"
+PROOF_BOUNDED = "bounded"
+
 
 class FormalEngineError(HdlError):
     """Raised when an engine cannot decide a query (e.g. state blow-up)."""
@@ -59,6 +71,9 @@ class CheckResult:
     engine: str = ""
     seconds: float = 0.0
     details: dict[str, object] = field(default_factory=dict)
+    #: ``PROOF_UNBOUNDED`` for real proofs, ``PROOF_BOUNDED`` for
+    #: survived-a-bounded-search verdicts, ``None`` for FALSE verdicts.
+    proof_strength: str | None = None
 
     @property
     def is_true(self) -> bool:
@@ -74,8 +89,10 @@ class CheckResult:
 
 
 def true_result(assertion: Assertion, engine: str, seconds: float = 0.0,
+                proof_strength: str | None = PROOF_UNBOUNDED,
                 **details: object) -> CheckResult:
-    return CheckResult(assertion, Verdict.TRUE, None, engine, seconds, dict(details))
+    return CheckResult(assertion, Verdict.TRUE, None, engine, seconds, dict(details),
+                       proof_strength=proof_strength)
 
 
 def false_result(assertion: Assertion, counterexample: Counterexample, engine: str,
@@ -84,5 +101,7 @@ def false_result(assertion: Assertion, counterexample: Counterexample, engine: s
 
 
 def unknown_result(assertion: Assertion, engine: str, seconds: float = 0.0,
+                   proof_strength: str | None = PROOF_BOUNDED,
                    **details: object) -> CheckResult:
-    return CheckResult(assertion, Verdict.UNKNOWN, None, engine, seconds, dict(details))
+    return CheckResult(assertion, Verdict.UNKNOWN, None, engine, seconds, dict(details),
+                       proof_strength=proof_strength)

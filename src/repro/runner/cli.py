@@ -66,11 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--engine", choices=("scalar", "batched"), default="scalar",
                      help="simulation engine threaded through the pipeline")
     run.add_argument("--formal-engine", dest="formal_engine",
-                     choices=("explicit", "bmc", "bmc-fresh", "bdd"),
+                     choices=("explicit", "bmc", "bmc-fresh", "k-induction",
+                              "tiered", "bdd"),
                      default="explicit",
                      help="formal back end for candidate verification "
                           "(bmc = incremental SAT with a persistent solver "
-                          "context; bmc-fresh = cold solver per query)")
+                          "context; bmc-fresh = cold solver per query; "
+                          "k-induction = BMC base case + simple-path "
+                          "inductive step, proves assertions unbounded; "
+                          "tiered = BMC falsification tier, then induction "
+                          "escalation for proof)")
+    run.add_argument("--induction-k", dest="induction_k", type=int, default=8,
+                     metavar="K",
+                     help="maximum induction depth for k-induction/tiered "
+                          "(default 8; ignored by the other engines)")
     run.add_argument("--formal-workers", dest="formal_workers", type=int,
                      default=1, metavar="N",
                      help="persistent formal verification worker processes "
@@ -138,6 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         proof_cache = str(Path(args.artifacts) / "proofcache.json")
     options = RunOptions(
         engine=args.engine, lanes=args.lanes, formal_engine=args.formal_engine,
+        induction_k=args.induction_k,
         formal_workers=args.formal_workers, proof_cache=proof_cache,
         mine_engine=args.mine_engine,
         smoke=args.smoke,

@@ -59,7 +59,9 @@ class RunOptions:
     every driver (see ``GoldMineConfig.sim_engine``); ``formal_engine``
     selects the formal back end the refinement loop verifies candidates
     with (``explicit``, ``bmc`` — the incremental SAT path, ``bmc-fresh``,
-    ``bdd``); ``formal_workers`` fans each run's candidate batches out to
+    ``k-induction``, ``tiered``, ``bdd``); ``induction_k`` caps the
+    induction depth of the two unbounded-proof engines (ignored by the
+    rest); ``formal_workers`` fans each run's candidate batches out to
     that many persistent verification worker processes
     (``GoldMineConfig.formal_workers`` — results are identical for every
     count, see :mod:`repro.formal.parallel`); ``proof_cache`` enables
@@ -76,6 +78,7 @@ class RunOptions:
     engine: str = "scalar"
     lanes: int = 64
     formal_engine: str = "explicit"
+    induction_k: int = 8
     formal_workers: int = 1
     proof_cache: bool | str = False
     mine_engine: str = "rowwise"
@@ -97,6 +100,7 @@ class RunOptions:
             "engine": self.engine,
             "lanes": self.lanes,
             "formal_engine": self.formal_engine,
+            "induction_k": self.induction_k,
             "formal_workers": self.formal_workers,
             "proof_cache": self.proof_cache,
             "mine_engine": self.mine_engine,

@@ -29,6 +29,7 @@ def _iterations(options: RunOptions, full: int, smoke: int) -> int:
 def _engine_params(options: RunOptions) -> dict:
     return {"sim_engine": options.engine, "sim_lanes": options.lanes,
             "formal_engine": options.formal_engine,
+            "induction_k": options.induction_k,
             "formal_workers": options.formal_workers,
             "proof_cache": options.proof_cache,
             "mine_engine": options.mine_engine}
@@ -399,6 +400,7 @@ def _sweep_execute(params: Mapping) -> tuple[dict, int]:
                             sim_engine=params["sim_engine"],
                             sim_lanes=params["sim_lanes"],
                             engine=params.get("formal_engine", "explicit"),
+                            induction_k=params.get("induction_k", 8),
                             mine_engine=params.get("mine_engine", "rowwise"),
                             formal_workers=params.get("formal_workers", 1),
                             formal_proof_cache=params.get("proof_cache", False))

@@ -236,6 +236,54 @@ class TestClosureDifferential:
         checker.check_all(assertions)
         assert cache.hits == 0  # every candidate went through both engines
 
+    def test_tiered_closure_identical_across_worker_counts(self):
+        """The unbounded proof tier rides the same worker protocol: for
+        the ``tiered`` engine, serial and parallel {1,2,4} runs must
+        produce byte-identical deterministic artifacts — proof strengths
+        included, since ``proof_strength`` is part of the verdict payload
+        ``deterministic_json`` keeps."""
+        seed = 1
+        baseline = canonical(closure_artifact("arbiter2", seed, engine="tiered",
+                                              max_iterations=6))
+        for workers in (1, 2, 4):
+            assert canonical(closure_artifact("arbiter2", seed, engine="tiered",
+                                              workers=workers,
+                                              max_iterations=6)) == baseline
+
+    def test_proof_strength_survives_sharding(self, arbiter4_module):
+        """Worker pools pickle whole ``CheckResult`` objects, so each
+        verdict's proof strength must cross the protocol unchanged for
+        every worker count — and the corpus must actually contain
+        unbounded proofs for this to mean anything."""
+        from repro.formal.result import PROOF_UNBOUNDED
+
+        assertions = random_assertions(arbiter4_module, 18, seed=101)
+        serial = FormalVerifier(arbiter4_module, engine="tiered", bound=8)
+        baseline = serial.check_all(assertions)
+        assert any(result.proof_strength == PROOF_UNBOUNDED
+                   for result in baseline)
+        for workers in (2, 4):
+            verifier = FormalVerifier(arbiter4_module, engine="tiered", bound=8,
+                                      workers=workers)
+            try:
+                results = verifier.check_all(assertions)
+            finally:
+                verifier.close()
+            for expected, got in zip(baseline, results):
+                assert got.verdict is expected.verdict
+                assert got.proof_strength == expected.proof_strength
+                assert got.details.get("induction_k") \
+                    == expected.details.get("induction_k")
+
+    def test_proof_strength_part_of_deterministic_artifact(self):
+        document = closure_artifact("arbiter2", 1, engine="tiered",
+                                    max_iterations=6)
+        strengths = document["proof_strength"]
+        assert strengths  # a converged tiered run proves/passes something
+        assert set(strengths.values()) <= {"bounded", "unbounded"}
+        restored = ClosureResult.from_json(document)
+        assert restored.proof_strength == strengths
+
     def test_deterministic_json_round_trips(self):
         """The deterministic artifact stays loadable by ``from_json`` (the
         stripped fields fall back to their defaults)."""

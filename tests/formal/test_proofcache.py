@@ -14,7 +14,14 @@ from repro.formal.proofcache import (
     canonical_assertion_key,
     design_fingerprint,
 )
-from repro.formal.result import Counterexample, false_result, true_result
+from repro.formal.result import (
+    PROOF_BOUNDED,
+    PROOF_UNBOUNDED,
+    Counterexample,
+    false_result,
+    true_result,
+    unknown_result,
+)
 
 
 @pytest.fixture(autouse=True)
@@ -146,6 +153,101 @@ class TestPersistence:
         assertion = sample_assertion()
         cache.store("a" * 24, "e", assertion, true_result(assertion, "explicit"))
         cache.flush()  # must not raise, nothing to write
+
+
+class TestProofStrengthBackwardCompat:
+    """Caches written before the proof-strength field stay loadable.
+
+    The schema version did **not** change when ``proof_strength`` was
+    added (the key is additive), so files written by older runs load into
+    new code.  The compatibility contract: entries with no
+    ``proof_strength`` key are conservatively ``bounded`` for TRUE and
+    UNKNOWN verdicts — never silently upgraded to a proof the engine
+    that wrote them did not make — and ``None`` for FALSE, exactly like
+    live results.
+    """
+
+    FP = "a" * 24
+    ENGINE = "bmc:bound=6"
+
+    def _old_format_file(self, tmp_path, assertion, entry):
+        """Hand-author a cache file the pre-proof-strength code wrote."""
+        key = ProofCache.entry_key(self.FP, self.ENGINE, assertion)
+        path = tmp_path / "old_format.json"
+        path.write_text(json.dumps(
+            {"version": CACHE_SCHEMA_VERSION, "entries": {key: entry}}))
+        return path
+
+    def test_true_entry_without_strength_loads_as_bounded(self, tmp_path):
+        assertion = sample_assertion()
+        path = self._old_format_file(tmp_path, assertion, {
+            "verdict": Verdict.TRUE.value, "engine": "bmc",
+            "details": {"bound": 6, "proof": "induction"},
+        })
+        hit = ProofCache(path).lookup(self.FP, self.ENGINE, assertion)
+        assert hit is not None and hit.verdict is Verdict.TRUE
+        assert hit.proof_strength == PROOF_BOUNDED  # never upgraded
+        assert hit.details["proof"] == "induction"
+
+    def test_unknown_entry_without_strength_loads_as_bounded(self, tmp_path):
+        assertion = sample_assertion()
+        path = self._old_format_file(tmp_path, assertion, {
+            "verdict": Verdict.UNKNOWN.value, "engine": "bmc",
+        })
+        hit = ProofCache(path).lookup(self.FP, self.ENGINE, assertion)
+        assert hit.verdict is Verdict.UNKNOWN
+        assert hit.proof_strength == PROOF_BOUNDED
+
+    def test_false_entry_without_strength_has_no_strength(self, tmp_path):
+        assertion = sample_assertion()
+        path = self._old_format_file(tmp_path, assertion, {
+            "verdict": Verdict.FALSE.value, "engine": "bmc",
+        })
+        hit = ProofCache(path).lookup(self.FP, self.ENGINE, assertion)
+        assert hit.verdict is Verdict.FALSE
+        assert hit.proof_strength is None  # FALSE carries a witness, not a strength
+
+    def test_old_format_round_trips_without_upgrade(self, tmp_path):
+        """Loading an old file and flushing it through new code must not
+        manufacture ``unbounded`` out of thin air, while entries stored
+        by the new engines keep their real strength alongside."""
+        old = sample_assertion(value=1)
+        new = sample_assertion(value=0)
+        path = self._old_format_file(tmp_path, old, {
+            "verdict": Verdict.TRUE.value, "engine": "bmc",
+        })
+        cache = ProofCache(path)
+        cache.store(self.FP, "k-induction:bound=8:k=8", new,
+                    true_result(new, "k-induction", proof="k-induction",
+                                induction_k=2))
+        cache.flush()
+        reloaded = ProofCache(path)
+        legacy = reloaded.lookup(self.FP, self.ENGINE, old)
+        proved = reloaded.lookup(self.FP, "k-induction:bound=8:k=8", new)
+        assert legacy.proof_strength == PROOF_BOUNDED
+        assert proved.proof_strength == PROOF_UNBOUNDED
+        document = json.loads(path.read_text())
+        entries = document["entries"]
+        assert document["version"] == CACHE_SCHEMA_VERSION  # no bump
+        key_old = ProofCache.entry_key(self.FP, self.ENGINE, old)
+        assert "proof_strength" not in entries[key_old] or \
+            entries[key_old]["proof_strength"] == PROOF_BOUNDED
+
+    def test_new_entries_persist_their_strength(self, tmp_path):
+        path = tmp_path / "proofs.json"
+        proved = sample_assertion(value=1)
+        passed = sample_assertion(value=0)
+        cache = ProofCache(path)
+        cache.store(self.FP, self.ENGINE, proved,
+                    true_result(proved, "tiered", proof="k-induction"))
+        cache.store(self.FP, self.ENGINE, passed,
+                    unknown_result(passed, "tiered", bound=8))
+        cache.flush()
+        reloaded = ProofCache(path)
+        assert reloaded.lookup(self.FP, self.ENGINE, proved) \
+            .proof_strength == PROOF_UNBOUNDED
+        assert reloaded.lookup(self.FP, self.ENGINE, passed) \
+            .proof_strength == PROOF_BOUNDED
 
 
 class TestResolve:
