@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.boolean.cnf import CnfBuilder
 from repro.boolean.expr import BoolExpr
-from repro.boolean.sat import SatResult, SatSolver
+from repro.boolean.sat import SatBudgetExceeded, SatResult, SatSolver
 
 
 @dataclass
@@ -116,7 +116,14 @@ class IncrementalSolver:
         self.counters.encode_cache_hits += self.builder.encode_cache_hits - hits_before
         self.counters.encode_calls += self.builder.encode_calls - calls_before
         self._flush()
-        result = self.solver.solve(assumptions=[activation, *assumptions])
+        try:
+            result = self.solver.solve(assumptions=[activation, *assumptions])
+        except SatBudgetExceeded:
+            # Deadline expired mid-query: retire the activation literal so
+            # the context stays clean for the queries that follow, then let
+            # the engine translate the interrupt into a timed-out UNKNOWN.
+            self.retire(activation)
+            raise
         return result, activation
 
     def guard_expr(self, expr: BoolExpr) -> int:

@@ -58,6 +58,17 @@ from repro.boolean.cnf import Clause, CnfBuilder, canonical_clause
 from repro.boolean.expr import BoolExpr
 
 
+class SatBudgetExceeded(Exception):
+    """Raised by :meth:`SatSolver.solve` when the interrupt callback fires.
+
+    The solver unwinds the trail to the root level before raising, so the
+    instance stays fully usable: clauses, root assignments, activities and
+    saved phases survive, and the next :meth:`SatSolver.solve` behaves as
+    if the interrupted query never ran.  The formal layer uses this for
+    wall-clock per-query deadlines (``--formal-timeout``).
+    """
+
+
 @dataclass
 class SatResult:
     """Outcome of a SAT query.
@@ -153,6 +164,9 @@ class SatSolver:
         self.blocker_hits = 0
         self.watch_checks = 0
         self.solves = 0
+        #: Optional interrupt callback polled at every conflict and every
+        #: 128th decision; ``None`` keeps the hot loop free of the check.
+        self._interrupt = None
         # --- debug modes ---------------------------------------------------
         self._debug = debug_checks
         self._certify = certify
@@ -203,6 +217,19 @@ class SatSolver:
             "watch_checks": self.watch_checks,
             "arena_literals": len(self._arena),
         }
+
+    def set_interrupt(self, callback) -> None:
+        """Install (or clear, with ``None``) the solve interrupt hook.
+
+        ``callback`` is a zero-argument callable polled at every conflict
+        and every 128th decision; when it returns true the in-flight
+        :meth:`solve` unwinds to the root level and raises
+        :class:`SatBudgetExceeded`.  The poll sites are off the
+        propagation inner loop, so an installed-but-quiet callback costs
+        one attribute load per conflict/decision batch and an uninstalled
+        one costs nothing.
+        """
+        self._interrupt = callback
 
     # ------------------------------------------------------------------
     # clause management
@@ -816,6 +843,7 @@ class SatSolver:
         restart_count = 0
         conflicts_until_restart = 32 * self._luby(restart_count)
         conflicts_since_restart = 0
+        interrupt = self._interrupt
 
         while True:
             conflict = self._propagate()
@@ -850,6 +878,8 @@ class SatSolver:
                 self._decay_activities()
                 if self._learned_live >= self._max_learned:
                     self._reduce_learned_db()
+                if interrupt is not None and interrupt():
+                    self._abort()
                 continue
 
             if conflicts_since_restart >= conflicts_until_restart:
@@ -870,6 +900,9 @@ class SatSolver:
                 model = {code >> 1: not (code & 1) for code in self._trail}
                 return self._finish(True, base, False, model)
             self.decisions += 1
+            if (interrupt is not None and (self.decisions & 127) == 0
+                    and interrupt()):
+                self._abort()
             self._trail_limits.append(len(self._trail))
             # Phase saving: re-try the polarity the variable last held;
             # first-time decisions default to False, which tends to work
@@ -878,6 +911,12 @@ class SatSolver:
                 self._assign(variable << 1, -1)
             else:
                 self._assign((variable << 1) | 1, -1)
+
+    def _abort(self) -> None:
+        """Unwind to the root level and raise :class:`SatBudgetExceeded`."""
+        self._reset()
+        raise SatBudgetExceeded(
+            f"solve interrupted after {self.conflicts} lifetime conflicts")
 
     def _finish(self, satisfiable: bool, base: tuple[int, ...],
                 certify_empty: bool,

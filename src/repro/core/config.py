@@ -59,6 +59,14 @@ class GoldMineConfig:
       string additionally persists them to that JSON file (conventionally
       under ``artifacts/``) so sweeps across seeds/jobs stop re-proving
       identical candidates.  Cache hits reproduce byte-identical results.
+    * ``formal_query_timeout`` — optional wall-clock budget in seconds
+      for each individual formal query (``None`` = unbounded, the
+      default).  On expiry the SAT engines abandon the query and report
+      an UNKNOWN-style result flagged ``timed_out`` — never cached or
+      memoised, since more budget might have produced a verdict — and
+      the ``tiered``/``k-induction`` engines degrade the unbounded proof
+      tier to plain bounded search before giving up.  Enforced
+      identically in-process and inside worker processes.
     """
 
     window: int = 1
@@ -78,6 +86,7 @@ class GoldMineConfig:
     mine_engine: str = "rowwise"
     formal_workers: int = 1
     formal_proof_cache: bool | str = False
+    formal_query_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.window < 1:
@@ -96,6 +105,8 @@ class GoldMineConfig:
             raise ValueError("sim_lanes must be at least 1")
         if self.formal_workers < 1:
             raise ValueError("formal_workers must be at least 1")
+        if self.formal_query_timeout is not None and self.formal_query_timeout <= 0:
+            raise ValueError("formal_query_timeout must be positive when set")
         if self.induction_k < 0:
             raise ValueError("induction_k cannot be negative")
         from repro.mining import MINE_ENGINES

@@ -76,6 +76,7 @@ class GoldMine:
             induction_k=self.config.induction_k,
             workers=self.config.formal_workers,
             proof_cache=ProofCache.resolve(self.config.formal_proof_cache),
+            query_timeout=self.config.formal_query_timeout,
         )
 
     # ------------------------------------------------------------------

@@ -54,6 +54,7 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                  induction_k: int = 8,
                  mine_engine: str = "rowwise",
                  formal_workers: int = 1,
+                 formal_query_timeout: float | None = None,
                  proof_cache: bool | str = False) -> tuple[VariantOutcome, set]:
     meta = design_info(design_name)
     module = meta.build()
@@ -61,7 +62,8 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                             sim_engine=sim_engine, sim_lanes=sim_lanes,
                             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
-                            formal_proof_cache=proof_cache)
+                            formal_proof_cache=proof_cache,
+                            formal_query_timeout=formal_query_timeout)
     closure = CoverageClosure(module, outputs=[output], config=config,
                               rebuild_trees=rebuild)
     start = time.perf_counter()
@@ -88,6 +90,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
+        formal_query_timeout: float | None = None,
         proof_cache: bool | str = False) -> AblationResult:
     """Run both variants and collect the comparison."""
     incremental, incremental_set = _run_variant(
@@ -96,6 +99,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
         induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
+        formal_query_timeout=formal_query_timeout,
         proof_cache=proof_cache)
     rebuilt, rebuilt_set = _run_variant(
         design_name, output, rebuild=True, seed_cycles=seed_cycles,
@@ -103,6 +107,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         sim_engine=sim_engine, sim_lanes=sim_lanes, formal_engine=formal_engine,
         induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
+        formal_query_timeout=formal_query_timeout,
         proof_cache=proof_cache)
     result = AblationResult(design=design_name, output=output,
                             incremental=incremental, rebuilt=rebuilt)

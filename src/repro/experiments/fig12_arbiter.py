@@ -67,6 +67,7 @@ def run(window: int = 2, max_iterations: int = 16,
         induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
+        formal_query_timeout: float | None = None,
         proof_cache: bool | str = False) -> Fig12Result:
     """Reproduce Figure 12 on the Section 6 arbiter.
 
@@ -84,7 +85,8 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     engine=formal_engine, induction_k=induction_k,
                                                     mine_engine=mine_engine,
                                                     formal_workers=formal_workers,
-                                                    formal_proof_cache=proof_cache))
+                                                    formal_proof_cache=proof_cache,
+                                                    formal_query_timeout=formal_query_timeout))
     closure_result = closure.run(arbiter2_directed_test())
 
     measurement_module = arbiter2()

@@ -76,6 +76,7 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
         induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
+        formal_query_timeout: float | None = None,
         proof_cache: bool | str = False) -> Fig14Result:
     """Run the Figure 14 study."""
     result = Fig14Result()
@@ -87,7 +88,8 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
                                 engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                                 formal_workers=formal_workers,
-                                formal_proof_cache=proof_cache)
+                                formal_proof_cache=proof_cache,
+                                formal_query_timeout=formal_query_timeout)
         closure = CoverageClosure(module, outputs=outputs, config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

@@ -95,6 +95,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
+        formal_query_timeout: float | None = None,
         proof_cache: bool | str = False) -> Table1Result:
     """Run the zero-seed study: no initial patterns at all."""
     result = Table1Result()
@@ -107,6 +108,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             sim_engine=sim_engine, sim_lanes=sim_lanes,
             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
             formal_workers=formal_workers, formal_proof_cache=proof_cache,
+            formal_query_timeout=formal_query_timeout,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)
         closure_result = closure.run(None)

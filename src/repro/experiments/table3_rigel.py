@@ -67,6 +67,7 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         induction_k: int = 8,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
+        formal_query_timeout: float | None = None,
         proof_cache: bool | str = False) -> Table3Result:
     """Run the Rigel coverage comparison.
 
@@ -106,7 +107,8 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
                                 sim_engine=sim_engine, sim_lanes=sim_lanes,
                                 engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                                 formal_workers=formal_workers,
-                                formal_proof_cache=proof_cache)
+                                formal_proof_cache=proof_cache,
+                                formal_query_timeout=formal_query_timeout)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(directed())

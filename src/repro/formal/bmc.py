@@ -53,11 +53,12 @@ from repro.analysis.unroll import Unroller, bit_variable
 from repro.boolean.cnf import CnfBuilder
 from repro.boolean.expr import BoolExpr, BVar
 from repro.boolean.incremental import IncrementalSolver, ReuseCounters
-from repro.boolean.sat import SatSolver
+from repro.boolean.sat import SatBudgetExceeded, SatSolver
 from repro.formal.result import (
     CheckResult,
     Counterexample,
     false_result,
+    timeout_result,
     true_result,
     unknown_result,
 )
@@ -137,12 +138,19 @@ class BmcModelChecker:
 
     def __init__(self, module: Module, bound: int = 10, use_induction: bool = True,
                  incremental: bool = True, max_learned: int = 4000,
-                 solver_cls: type = SatSolver):
+                 solver_cls: type = SatSolver,
+                 query_timeout: float | None = None):
         self.module = module
         self.bound = bound
         self.use_induction = use_induction
         self.incremental = incremental
         self._max_learned = max_learned
+        #: Wall-clock budget per :meth:`check` call; ``None`` disables the
+        #: deadline entirely (no interrupt callback is even installed).
+        self.query_timeout = query_timeout
+        #: Monotonic-clock instant the current check must finish by.
+        self._deadline: float | None = None
+        self._timeout_counters: dict[str, int] = {}
         #: Backing SAT solver class for both execution modes; the arena
         #: solver by default, LegacySatSolver for differential baselines.
         self._solver_cls = solver_cls
@@ -162,8 +170,41 @@ class BmcModelChecker:
         if context is None:
             context = IncrementalSolver(max_learned=self._max_learned,
                                         solver_cls=self._solver_cls)
+            self._arm(context.solver)
             self._contexts[from_reset] = context
         return context
+
+    # ------------------------------------------------------------------
+    # per-query wall-clock deadline
+    # ------------------------------------------------------------------
+    def _arm(self, solver) -> None:
+        """Install the deadline interrupt on a solver, when configured.
+
+        The callback reads :attr:`_deadline` on every poll, so one
+        installation covers every later check; a check with no deadline
+        armed (``_deadline is None``) costs a single attribute load per
+        poll.  Solvers without the hook (e.g. ``LegacySatSolver``) simply
+        run without deadlines — the budget is best-effort by design.
+        """
+        if self.query_timeout is None:
+            return
+        set_interrupt = getattr(solver, "set_interrupt", None)
+        if set_interrupt is not None:
+            set_interrupt(self._deadline_expired)
+
+    def _deadline_expired(self) -> bool:
+        deadline = self._deadline
+        return deadline is not None and time.monotonic() >= deadline
+
+    def _start_deadline(self) -> None:
+        if self.query_timeout is not None:
+            self._deadline = time.monotonic() + self.query_timeout
+
+    def _clear_deadline(self) -> None:
+        self._deadline = None
+
+    def _count_timeout(self, key: str = "query_timeouts") -> None:
+        self._timeout_counters[key] = self._timeout_counters.get(key, 0) + 1
 
     def reuse_stats(self) -> dict[str, int]:
         """Aggregate reuse counters over both persistent contexts.
@@ -190,6 +231,8 @@ class BmcModelChecker:
             for key, value in totals().items():
                 key = f"sat_{key}"
                 stats[key] = stats.get(key, 0) + int(value)
+        for key, value in self._timeout_counters.items():
+            stats[key] = stats.get(key, 0) + value
         return stats
 
     # ------------------------------------------------------------------
@@ -197,18 +240,26 @@ class BmcModelChecker:
         start = time.perf_counter()
         span = assertion.consequent.cycle + 1
         depth = max(self.bound, span)
+        self._start_deadline()
+        try:
+            falsified = self._bounded_search(assertion, depth)
+            if falsified is not None:
+                elapsed = time.perf_counter() - start
+                return false_result(assertion, falsified, self.name, elapsed, bound=depth)
 
-        falsified = self._bounded_search(assertion, depth)
-        if falsified is not None:
+            if self.use_induction and self._inductive_proof(assertion):
+                elapsed = time.perf_counter() - start
+                return true_result(assertion, self.name, elapsed, bound=depth,
+                                   proof="induction")
+
             elapsed = time.perf_counter() - start
-            return false_result(assertion, falsified, self.name, elapsed, bound=depth)
-
-        if self.use_induction and self._inductive_proof(assertion):
+            return unknown_result(assertion, self.name, elapsed, bound=depth)
+        except SatBudgetExceeded:
+            self._count_timeout()
             elapsed = time.perf_counter() - start
-            return true_result(assertion, self.name, elapsed, bound=depth, proof="induction")
-
-        elapsed = time.perf_counter() - start
-        return unknown_result(assertion, self.name, elapsed, bound=depth)
+            return timeout_result(assertion, self.name, elapsed, bound=depth)
+        finally:
+            self._clear_deadline()
 
     def check_all(self, assertions: list[Assertion]) -> list[CheckResult]:
         """Check a batch of candidates against one warm solver context.
@@ -261,6 +312,7 @@ class BmcModelChecker:
             builder = CnfBuilder()
             builder.assert_expr(violation)
             solver = self._solver_cls(builder.clauses, builder.variable_count)
+            self._arm(solver)
             result = solver.solve()
             model = None
             if result.satisfiable:
@@ -427,5 +479,6 @@ class BmcModelChecker:
         builder = CnfBuilder()
         builder.assert_expr(violation)
         solver = self._solver_cls(builder.clauses, builder.variable_count)
+        self._arm(solver)
         result = solver.solve()
         return not result.satisfiable

@@ -1,0 +1,231 @@
+"""Deterministic chaos-injection harness for the formal stack.
+
+The supervision layer's whole value is what happens on the bad day — a
+worker SIGKILLed mid-batch, a worker wedged in a query, a proof-cache
+file truncated by a crashed writer, a checkpoint line garbled on disk.
+This module makes those bad days *reproducible*: a :class:`ChaosPlan` is
+a seeded, pinned schedule of faults threaded into
+:class:`repro.formal.parallel.FormalWorkerPool` behind a test-only hook,
+plus file-corruption helpers for the cache/checkpoint satellites.
+
+Design rules:
+
+* **Deterministic.**  A plan is either written out fault-by-fault (the
+  pinned schedules CI runs) or derived from a seed via
+  :meth:`ChaosPlan.seeded`; nothing samples wall clock or global RNG
+  state.  Re-running a schedule replays the identical fault sequence.
+* **Once-only.**  Worker faults are *popped* from the plan when the pool
+  spawns the worker, so a respawned worker is always clean — exactly the
+  recover-from-a-transient-crash scenario supervision exists for.  A
+  plan also carries supervision overrides (short wedge timeout, short
+  backoff) so chaos tests run in test time, not production time.
+* **Invisible when uninstalled.**  The pool consults
+  :func:`active_plan` once per start; with no plan installed (the
+  default, and always in production) the hook is a single module lookup.
+
+The invariant every chaos schedule must preserve — and
+``tests/formal/test_chaos.py`` asserts — is that the recovered run's
+``ClosureResult.deterministic_json()`` is byte-identical to the
+fault-free run's, and no orphan worker processes survive.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Exit code a chaos-killed worker dies with, distinguishable from both a
+#: clean exit (0) and a signal death (negative exitcode) in assertions.
+KILL_EXIT_CODE = 173
+
+#: Fault kinds a worker can be scheduled to suffer.
+FAULT_KILL = "kill"
+FAULT_WEDGE = "wedge"
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled fault for one worker slot.
+
+    The worker serves ``after_messages`` requests normally, then suffers
+    the fault *instead of answering* the next one: ``kill`` dies with
+    :data:`KILL_EXIT_CODE` via ``os._exit`` (no cleanup, the closest
+    honest stand-in for SIGKILL that still pins the message index);
+    ``wedge`` ignores SIGTERM and spins silently — answering nothing —
+    until killed, which is what a solver stuck in an endless query looks
+    like from the parent.
+    """
+
+    kind: str
+    after_messages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (FAULT_KILL, FAULT_WEDGE):
+            raise ValueError(f"unknown fault kind '{self.kind}'")
+        if self.after_messages < 0:
+            raise ValueError("after_messages must be >= 0")
+
+    def fires(self, handled_messages: int) -> bool:
+        """True when the ``handled_messages``-th request triggers the fault."""
+        return handled_messages > self.after_messages
+
+
+@dataclass
+class ChaosPlan:
+    """A pinned schedule of worker faults plus supervision overrides.
+
+    ``faults`` maps worker slot index → fault; each entry is consumed by
+    the first spawn of that slot (see :meth:`take_fault`).  The
+    supervision overrides default to test-friendly values: a sub-second
+    wedge timeout and near-zero backoff keep chaos batteries fast while
+    exercising the same code paths production timeouts would.
+    """
+
+    faults: dict[int, WorkerFault] = field(default_factory=dict)
+    #: Pool override: seconds without any response before a worker is
+    #: declared wedged and killed.  ``None`` keeps the pool's setting.
+    wedge_timeout: float | None = 1.0
+    #: Pool overrides for the restart budget; ``None`` keeps defaults.
+    max_restarts: int | None = None
+    restart_backoff: float | None = 0.01
+
+    @classmethod
+    def seeded(cls, seed: int, workers: int, faults: int = 1,
+               kinds: tuple[str, ...] = (FAULT_KILL, FAULT_WEDGE),
+               max_after: int = 2) -> "ChaosPlan":
+        """Derive a reproducible plan from ``seed`` for a pool of ``workers``.
+
+        Picks ``faults`` distinct worker slots and gives each a fault of
+        a seeded kind at a seeded message index in ``[0, max_after]``.
+        Same seed, same plan — always.
+        """
+        rng = random.Random(seed)
+        count = max(0, min(faults, workers))
+        slots = rng.sample(range(workers), count)
+        plan_faults = {
+            slot: WorkerFault(kind=rng.choice(list(kinds)),
+                              after_messages=rng.randint(0, max_after))
+            for slot in sorted(slots)
+        }
+        return cls(faults=plan_faults)
+
+    # ------------------------------------------------------------------
+    def take_fault(self, worker_index: int) -> WorkerFault | None:
+        """Pop the fault scheduled for ``worker_index`` (once-only)."""
+        return self.faults.pop(worker_index, None)
+
+    def configure_pool(self, pool) -> None:
+        """Apply this plan's supervision overrides to a pool."""
+        if self.wedge_timeout is not None:
+            pool.wedge_timeout = self.wedge_timeout
+        if self.max_restarts is not None:
+            pool.max_restarts = self.max_restarts
+        if self.restart_backoff is not None:
+            pool.restart_backoff = self.restart_backoff
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled fault has been handed to a worker."""
+        return not self.faults
+
+
+# ----------------------------------------------------------------------
+# the test-only installation hook the pool consults
+# ----------------------------------------------------------------------
+_active_plan: ChaosPlan | None = None
+
+
+def install(plan: ChaosPlan) -> None:
+    """Arm ``plan`` for the next pool start in this process (test-only)."""
+    global _active_plan
+    _active_plan = plan
+
+
+def uninstall() -> None:
+    global _active_plan
+    _active_plan = None
+
+
+def active_plan() -> ChaosPlan | None:
+    return _active_plan
+
+
+@contextmanager
+def injected(plan: ChaosPlan):
+    """``with chaos.injected(plan):`` — install for the block, always clean up."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# worker-side fault execution (imported inside worker processes)
+# ----------------------------------------------------------------------
+def suffer(fault: WorkerFault) -> None:  # pragma: no cover - dies/spins
+    """Execute ``fault`` inside a worker process.  Does not return."""
+    if fault.kind == FAULT_KILL:
+        # os._exit skips every atexit/multiprocessing cleanup hook — the
+        # parent sees an unanswered shard and a dead process, the same
+        # observable state an external SIGKILL leaves.
+        os._exit(KILL_EXIT_CODE)
+    # Wedge: ignore SIGTERM (forcing the supervisor's kill() escalation)
+    # and spin without ever answering.  Exit if the parent dies so a
+    # wedged worker can never outlive the test that injected it.
+    import multiprocessing
+    import signal
+    import time
+
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    parent = multiprocessing.parent_process()
+    while parent is None or parent.is_alive():
+        time.sleep(0.05)
+    os._exit(KILL_EXIT_CODE)
+
+
+# ----------------------------------------------------------------------
+# file-corruption helpers (proof cache / checkpoint satellites)
+# ----------------------------------------------------------------------
+def truncate_file(path: str | os.PathLike, keep_ratio: float = 0.5) -> None:
+    """Chop a file mid-byte, like a crashed writer or a full disk."""
+    target = Path(path)
+    data = target.read_bytes()
+    target.write_bytes(data[: int(len(data) * keep_ratio)])
+
+
+def garble_file(path: str | os.PathLike, seed: int = 0,
+                flips: int = 32) -> None:
+    """Deterministically flip bytes across a file (bit-rot stand-in)."""
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        return
+    rng = random.Random(seed)
+    for _ in range(flips):
+        position = rng.randrange(len(data))
+        data[position] ^= 0xFF
+    target.write_bytes(bytes(data))
+
+
+def corrupt_jsonl_line(path: str | os.PathLike, line_index: int,
+                       replacement: str = '{"job_id": broke') -> int:
+    """Replace one line of a JSONL file with undecodable text.
+
+    Returns the number of lines the file holds; ``line_index`` is clamped
+    into range so schedules stay valid as logs grow.
+    """
+    target = Path(path)
+    lines = target.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return 0
+    index = max(0, min(line_index, len(lines) - 1))
+    lines[index] = replacement
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)

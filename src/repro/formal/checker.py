@@ -48,12 +48,17 @@ def build_engine(module: Module, name: str, bound: int = 10,
                  max_states: int = 50_000,
                  max_input_combinations: int = 4_096,
                  pinned_inputs: Mapping[str, int] | None = None,
-                 induction_k: int = 8):
+                 induction_k: int = 8,
+                 query_timeout: float | None = None):
     """Construct one formal engine by name.
 
     Shared by :class:`FormalVerifier` and the parallel pool's workers
     (each worker builds its own persistent engine from the same
     parameters), so the two paths can never drift apart.
+
+    ``query_timeout`` is the per-check wall-clock budget; it only applies
+    to the SAT-based engines (the explicit and BDD engines already carry
+    their own exploration limits).
     """
     if name == "explicit":
         return ExplicitModelChecker(
@@ -63,15 +68,19 @@ def build_engine(module: Module, name: str, bound: int = 10,
             pinned_inputs=pinned_inputs,
         )
     if name == "bmc":
-        return BmcModelChecker(module, bound=bound, incremental=True)
+        return BmcModelChecker(module, bound=bound, incremental=True,
+                               query_timeout=query_timeout)
     if name == "bmc-fresh":
-        return BmcModelChecker(module, bound=bound, incremental=False)
+        return BmcModelChecker(module, bound=bound, incremental=False,
+                               query_timeout=query_timeout)
     if name == "k-induction":
         return KInductionModelChecker(module, bound=bound,
-                                      induction_k=induction_k, incremental=True)
+                                      induction_k=induction_k, incremental=True,
+                                      query_timeout=query_timeout)
     if name == "tiered":
         return TieredModelChecker(module, bound=bound,
-                                  induction_k=induction_k, incremental=True)
+                                  induction_k=induction_k, incremental=True,
+                                  query_timeout=query_timeout)
     if name == "bdd":
         from repro.formal.bdd_engine import BddModelChecker
 
@@ -95,6 +104,10 @@ class VerifierStatistics:
     bounded_passes: int = 0
     total_seconds: float = 0.0
     cache_hits: int = 0
+    #: Checks abandoned because the per-query wall-clock budget expired
+    #: (``timed_out`` results).  A subset of ``unknown_count``; never
+    #: memoised or proof-cached, so reruns with more budget can decide.
+    timeouts: int = 0
     per_assertion_seconds: list[float] = field(default_factory=list)
     #: Incremental-engine reuse counters (clauses reused, learned clauses
     #: carried over, Tseitin encode cache hits, ...) plus the SAT core's
@@ -126,6 +139,8 @@ class VerifierStatistics:
             self.unbounded_proofs += 1
         elif result.proof_strength == PROOF_BOUNDED:
             self.bounded_passes += 1
+        if result.timed_out:
+            self.timeouts += 1
 
     def to_json(self) -> dict:
         """Plain-dict form for run artifacts (per-check seconds elided)."""
@@ -138,6 +153,7 @@ class VerifierStatistics:
             "bounded_passes": self.bounded_passes,
             "total_seconds": self.total_seconds,
             "cache_hits": self.cache_hits,
+            "timeouts": self.timeouts,
             "average_seconds": self.average_seconds,
             "reuse": dict(self.reuse),
         }
@@ -177,7 +193,8 @@ class FormalVerifier:
                  pinned_inputs: Mapping[str, int] | None = None,
                  induction_k: int = 8,
                  workers: int = 1,
-                 proof_cache: ProofCache | None = None):
+                 proof_cache: ProofCache | None = None,
+                 query_timeout: float | None = None):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine '{engine}'; choose from {self.ENGINES}")
         if cross_check_engine is not None and cross_check_engine not in self.ENGINES:
@@ -190,12 +207,15 @@ class FormalVerifier:
         self.workers = workers
         self.proof_cache = proof_cache
         self.stats = VerifierStatistics()
+        if query_timeout is not None and query_timeout <= 0:
+            raise ValueError("query_timeout must be positive (or None)")
         self._engine_kwargs = {
             "bound": bound,
             "max_states": max_states,
             "max_input_combinations": max_input_combinations,
             "pinned_inputs": dict(pinned_inputs) if pinned_inputs else None,
             "induction_k": induction_k,
+            "query_timeout": query_timeout,
         }
         self._cache: dict[Assertion, CheckResult] = {}
         # Engines, the worker pool and the design fingerprint are all built
@@ -312,7 +332,7 @@ class FormalVerifier:
             if self._cross_engine_name is not None:
                 self._cross_check(assertion, result)
             self._record(assertion, result)
-            if self.proof_cache is not None:
+            if self.proof_cache is not None and not result.timed_out:
                 self.proof_cache.store(self._design_fingerprint(),
                                        self._proof_engine_key(), assertion, result)
             results[index] = result
@@ -352,7 +372,10 @@ class FormalVerifier:
 
     def _record(self, assertion: Assertion, result: CheckResult) -> None:
         self.stats.record(result)
-        self._cache[assertion] = result
+        if not result.timed_out:
+            # A timed-out UNKNOWN is an operational outcome, not a verdict:
+            # never memoise it, so a repeat query gets a fresh attempt.
+            self._cache[assertion] = result
 
     def _capture_reuse(self, query_workers: bool = False) -> None:
         """Refresh ``stats.reuse``.
@@ -381,6 +404,8 @@ class FormalVerifier:
         if self.proof_cache is not None:
             reuse["proof_cache_hits"] = self._proof_hits
             reuse["proof_cache_misses"] = self._proof_misses
+        if self.stats.timeouts:
+            reuse["formal_timeouts"] = self.stats.timeouts
         if reuse:
             self.stats.reuse = reuse
 

@@ -58,11 +58,12 @@ import time
 from repro.assertions.assertion import Assertion
 from repro.boolean.cnf import CnfBuilder
 from repro.boolean.expr import and_, or_, xor_
-from repro.boolean.sat import SatSolver
+from repro.boolean.sat import SatBudgetExceeded, SatSolver
 from repro.formal.bmc import BmcModelChecker, _shift
 from repro.formal.result import (
     CheckResult,
     false_result,
+    timeout_result,
     true_result,
     unknown_result,
 )
@@ -109,10 +110,11 @@ class KInductionModelChecker(BmcModelChecker):
 
     def __init__(self, module: Module, bound: int = 10, induction_k: int = 8,
                  incremental: bool = True, max_learned: int = 4000,
-                 solver_cls: type = SatSolver):
+                 solver_cls: type = SatSolver,
+                 query_timeout: float | None = None):
         super().__init__(module, bound=bound, use_induction=True,
                          incremental=incremental, max_learned=max_learned,
-                         solver_cls=solver_cls)
+                         solver_cls=solver_cls, query_timeout=query_timeout)
         self.induction_k = induction_k
         #: ``(i, j)`` cycle pair -> guard literal in the step context.
         self._distinct_guards: dict[tuple[int, int], int] = {}
@@ -138,33 +140,63 @@ class KInductionModelChecker(BmcModelChecker):
         #: Window starts the plain bounded search would scan: [0, base_limit).
         base_limit = depth - span + 2
         state = _BaseScan(self, assertion, span)
+        self._start_deadline()
+        #: Degradation ladder: a timed-out inductive step abandons the
+        #: proof tier but keeps the bounded falsification search running
+        #: on the remaining budget (k-induction -> BMC before giving up).
+        degraded = False
+        try:
+            if self._bmc_first:
+                counterexample = state.extend(base_limit)
+                if counterexample is not None:
+                    return false_result(assertion, counterexample, self.name,
+                                        time.perf_counter() - start, bound=depth)
 
-        if self._bmc_first:
+            for k in range(self.induction_k + 1):
+                # A proof at depth k is only sound once base windows 0..k-1
+                # are verified, so the base scan is extended eagerly first.
+                counterexample = state.extend(k)
+                if counterexample is not None:
+                    return false_result(assertion, counterexample, self.name,
+                                        time.perf_counter() - start, bound=depth)
+                if degraded:
+                    continue
+                try:
+                    step_holds = self._step_holds(assertion, k)
+                except SatBudgetExceeded:
+                    self._count_timeout("induction_step_timeouts")
+                    degraded = True
+                    continue
+                if step_holds:
+                    self._induction_counters["induction_proofs"] += 1
+                    return true_result(assertion, self.name,
+                                       time.perf_counter() - start,
+                                       bound=depth, proof="k-induction",
+                                       induction_k=k)
+
             counterexample = state.extend(base_limit)
             if counterexample is not None:
                 return false_result(assertion, counterexample, self.name,
                                     time.perf_counter() - start, bound=depth)
-
-        for k in range(self.induction_k + 1):
-            # A proof at depth k is only sound once base windows 0..k-1
-            # are verified, so the base scan is extended eagerly first.
-            counterexample = state.extend(k)
-            if counterexample is not None:
-                return false_result(assertion, counterexample, self.name,
-                                    time.perf_counter() - start, bound=depth)
-            if self._step_holds(assertion, k):
-                self._induction_counters["induction_proofs"] += 1
-                return true_result(assertion, self.name,
-                                   time.perf_counter() - start,
-                                   bound=depth, proof="k-induction",
-                                   induction_k=k)
-
-        counterexample = state.extend(base_limit)
-        if counterexample is not None:
-            return false_result(assertion, counterexample, self.name,
-                                time.perf_counter() - start, bound=depth)
-        return unknown_result(assertion, self.name, time.perf_counter() - start,
-                              bound=depth, induction_k=self.induction_k)
+            if degraded:
+                # The proof tier timed out but the bounded search finished:
+                # report BMC's survived-the-search answer, marked timed-out
+                # so it is never cached as a k-induction verdict (a later
+                # run with more budget may still prove the assertion).
+                self._count_timeout()
+                return unknown_result(assertion, self.name,
+                                      time.perf_counter() - start,
+                                      timed_out=True, bound=depth,
+                                      induction_k=self.induction_k,
+                                      degraded="bmc")
+            return unknown_result(assertion, self.name, time.perf_counter() - start,
+                                  bound=depth, induction_k=self.induction_k)
+        except SatBudgetExceeded:
+            self._count_timeout()
+            return timeout_result(assertion, self.name,
+                                  time.perf_counter() - start, bound=depth)
+        finally:
+            self._clear_deadline()
 
     # ------------------------------------------------------------------
     def _step_holds(self, assertion: Assertion, k: int) -> bool:
@@ -190,6 +222,7 @@ class KInductionModelChecker(BmcModelChecker):
                 builder.assert_expr(
                     state_distinct_expr(design, self._synth.registers, i, j))
         solver = self._solver_cls(builder.clauses, builder.variable_count)
+        self._arm(solver)
         result = solver.solve()
         return not result.satisfiable
 

@@ -31,13 +31,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import threading
+import time
 from pathlib import Path
 
 from repro.assertions.assertion import Assertion, Literal, Verdict
 from repro.formal.result import PROOF_BOUNDED, CheckResult, Counterexample
 from repro.hdl.module import Module
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the entry schema changes *incompatibly*; mismatched files are
 #: ignored wholesale.  Additive optional keys (e.g. ``proof_strength``)
@@ -255,6 +259,10 @@ class ProofCache:
 
     def store(self, fingerprint: str, engine_key: str, assertion: Assertion,
               result: CheckResult) -> None:
+        if result.timed_out:
+            # An expired query budget is not a verdict; caching it would
+            # freeze an accident of scheduling into every later run.
+            return
         key = self.entry_key(fingerprint, engine_key, assertion)
         with self._lock:
             if key not in self._entries:
@@ -274,16 +282,79 @@ class ProofCache:
     # persistence
     # ------------------------------------------------------------------
     @staticmethod
-    def _read_file(path: Path) -> dict[str, dict]:
+    def _quarantine(path: Path, reason: str) -> Path | None:
+        """Move a damaged cache file aside to ``<path>.corrupt-<ts>``.
+
+        The run continues with an empty cache — a lost cache only costs
+        re-proving, never a wrong verdict — while the quarantined file
+        stays on disk for post-mortem inspection.
+        """
+        stamp = int(time.time())
+        target = path.with_name(f"{path.name}.corrupt-{stamp}")
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = path.with_name(f"{path.name}.corrupt-{stamp}.{suffix}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            logger.warning("proof cache %s is %s and could not be quarantined; "
+                           "continuing with an empty cache", path, reason)
+            return None
+        logger.warning("proof cache %s is %s; quarantined to %s and continuing "
+                       "with an empty cache", path, reason, target)
+        return target
+
+    @staticmethod
+    def _valid_entry(entry: object) -> bool:
+        """Cheap shape check of one persisted entry.
+
+        Guards the merge path against individually garbled entries inside
+        an otherwise well-formed file (e.g. a partially overwritten value
+        from a crashed writer): bad entries are skipped, good ones load.
+        """
+        if not isinstance(entry, dict):
+            return False
+        try:
+            verdict = Verdict(entry.get("verdict"))
+        except (ValueError, TypeError):
+            return False
+        del verdict  # any Verdict value is loadable (old FALSE entries
+        # may predate witness persistence and still load, witness-less)
+        counterexample = entry.get("counterexample")
+        if counterexample is not None:
+            if not isinstance(counterexample, dict):
+                return False
+            if not isinstance(counterexample.get("input_vectors"), list):
+                return False
+            if not isinstance(counterexample.get("window_start"), int):
+                return False
+        return True
+
+    @classmethod
+    def _read_file(cls, path: Path) -> dict[str, dict]:
         try:
             document = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+        except FileNotFoundError:
+            return {}
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError):
+            cls._quarantine(path, "unreadable (truncated or corrupt)")
             return {}
         if not isinstance(document, dict) or \
                 document.get("version") != CACHE_SCHEMA_VERSION:
+            cls._quarantine(path, "of an unknown schema")
             return {}
         entries = document.get("entries")
-        return dict(entries) if isinstance(entries, dict) else {}
+        if not isinstance(entries, dict):
+            cls._quarantine(path, "missing its entry table")
+            return {}
+        valid = {key: entry for key, entry in entries.items()
+                 if cls._valid_entry(entry)}
+        dropped = len(entries) - len(valid)
+        if dropped:
+            logger.warning("proof cache %s: skipped %d malformed entr%s",
+                           path, dropped, "y" if dropped == 1 else "ies")
+        return valid
 
     def flush(self) -> None:
         """Merge in-memory entries into the backing file atomically.

@@ -74,6 +74,12 @@ class CheckResult:
     #: ``PROOF_UNBOUNDED`` for real proofs, ``PROOF_BOUNDED`` for
     #: survived-a-bounded-search verdicts, ``None`` for FALSE verdicts.
     proof_strength: str | None = None
+    #: True when the engine abandoned the query because its wall-clock
+    #: budget (``formal_query_timeout`` / ``--formal-timeout``) expired.
+    #: Timed-out results are operational outcomes, not verdicts: the
+    #: verifier never memoises them and the proof cache never stores
+    #: them, so a later run with more budget can still decide the query.
+    timed_out: bool = False
 
     @property
     def is_true(self) -> bool:
@@ -102,6 +108,18 @@ def false_result(assertion: Assertion, counterexample: Counterexample, engine: s
 
 def unknown_result(assertion: Assertion, engine: str, seconds: float = 0.0,
                    proof_strength: str | None = PROOF_BOUNDED,
+                   timed_out: bool = False,
                    **details: object) -> CheckResult:
     return CheckResult(assertion, Verdict.UNKNOWN, None, engine, seconds, dict(details),
-                       proof_strength=proof_strength)
+                       proof_strength=proof_strength, timed_out=timed_out)
+
+
+def timeout_result(assertion: Assertion, engine: str, seconds: float = 0.0,
+                   **details: object) -> CheckResult:
+    """UNKNOWN because the per-query deadline expired mid-search.
+
+    Carries no ``proof_strength``: the bounded search did not complete,
+    so the result is not even "survived the search" evidence.
+    """
+    return CheckResult(assertion, Verdict.UNKNOWN, None, engine, seconds, dict(details),
+                       proof_strength=None, timed_out=True)

@@ -24,9 +24,13 @@ and excluded from any identity comparison.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Iterable, Mapping
+
+
+logger = logging.getLogger(__name__)
 
 
 MANIFEST_NAME = "run.json"
@@ -72,6 +76,10 @@ class RunCheckpoint:
         self.manifest_path = self.run_dir / MANIFEST_NAME
         self.jobs_path = self.run_dir / JOBS_NAME
         self.result_path = self.run_dir / RESULT_NAME
+        #: Undecodable/shape-broken ``jobs.jsonl`` lines skipped by the
+        #: most recent :meth:`completed` call.  Affected jobs simply look
+        #: incomplete, so the runner re-executes them.
+        self.corrupt_lines = 0
 
     # ------------------------------------------------------------------
     # manifest
@@ -121,14 +129,20 @@ class RunCheckpoint:
     def completed(self) -> dict[str, dict]:
         """Load completed job records, keyed by job id.
 
-        Tolerates a partial/corrupt trailing line (the signature of a kill
-        mid-append) by skipping undecodable lines.  Later records win, so
-        a job re-run after a failure supersedes its failed record.
+        Tolerates corrupt lines *anywhere* in the file — the partial
+        trailing line a kill mid-append leaves, but also mid-file damage
+        (disk corruption, concurrent writers, chaos injection): every
+        undecodable or shape-broken line is skipped and counted in
+        :attr:`corrupt_lines`, with one warning per load.  A skipped job
+        has no record, so the runner re-executes it.  Later records win,
+        so a job re-run after a failure supersedes its failed record.
         """
         records: dict[str, dict] = {}
+        self.corrupt_lines = 0
         if not self.jobs_path.exists():
             return records
-        with self.jobs_path.open("r", encoding="utf-8") as handle:
+        skipped = 0
+        with self.jobs_path.open("r", encoding="utf-8", errors="replace") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -136,9 +150,17 @@ class RunCheckpoint:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    skipped += 1
                     continue
                 if isinstance(record, dict) and "job_id" in record:
                     records[record["job_id"]] = record
+                else:
+                    skipped += 1
+        self.corrupt_lines = skipped
+        if skipped:
+            logger.warning(
+                "%s: skipped %d corrupt checkpoint line(s); the affected "
+                "jobs will re-run", self.jobs_path, skipped)
         return records
 
     def append(self, record: Mapping) -> None:

@@ -85,6 +85,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persistent formal verification worker processes "
                           "per closure run (default 1 = in-process; results "
                           "are identical for every worker count)")
+    run.add_argument("--formal-timeout", dest="formal_timeout", type=float,
+                     default=None, metavar="SECONDS",
+                     help="wall-clock budget per formal query (default: "
+                          "unbounded); an expired query returns an uncached "
+                          "UNKNOWN flagged timed_out instead of hanging, and "
+                          "k-induction/tiered degrade to bounded search "
+                          "before giving up")
     run.add_argument("--proof-cache", dest="proof_cache", nargs="?",
                      const=True, default=False, metavar="PATH",
                      help="reuse formal verdicts across jobs and runs, "
@@ -148,7 +155,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     options = RunOptions(
         engine=args.engine, lanes=args.lanes, formal_engine=args.formal_engine,
         induction_k=args.induction_k,
-        formal_workers=args.formal_workers, proof_cache=proof_cache,
+        formal_workers=args.formal_workers,
+        formal_timeout=args.formal_timeout, proof_cache=proof_cache,
         mine_engine=args.mine_engine,
         smoke=args.smoke,
         designs=args.designs, seeds=args.seeds, seed_cycles=args.seed_cycles,

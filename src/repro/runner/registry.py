@@ -64,7 +64,11 @@ class RunOptions:
     rest); ``formal_workers`` fans each run's candidate batches out to
     that many persistent verification worker processes
     (``GoldMineConfig.formal_workers`` — results are identical for every
-    count, see :mod:`repro.formal.parallel`); ``proof_cache`` enables
+    count, see :mod:`repro.formal.parallel`); ``formal_timeout`` caps
+    each individual formal query's wall clock in seconds (expired
+    queries come back as uncached, ``timed_out`` UNKNOWNs, and the
+    unbounded-proof engines degrade to bounded search first — see
+    ``GoldMineConfig.formal_query_timeout``); ``proof_cache`` enables
     cross-run verdict reuse (``True`` for in-memory sharing, a path to
     persist under ``artifacts/``, see :mod:`repro.formal.proofcache`);
     ``mine_engine`` selects the A-Miner back end (``rowwise``
@@ -80,6 +84,7 @@ class RunOptions:
     formal_engine: str = "explicit"
     induction_k: int = 8
     formal_workers: int = 1
+    formal_timeout: float | None = None
     proof_cache: bool | str = False
     mine_engine: str = "rowwise"
     smoke: bool = False
@@ -102,6 +107,7 @@ class RunOptions:
             "formal_engine": self.formal_engine,
             "induction_k": self.induction_k,
             "formal_workers": self.formal_workers,
+            "formal_timeout": self.formal_timeout,
             "proof_cache": self.proof_cache,
             "mine_engine": self.mine_engine,
             "smoke": self.smoke,

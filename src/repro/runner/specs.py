@@ -31,6 +31,7 @@ def _engine_params(options: RunOptions) -> dict:
             "formal_engine": options.formal_engine,
             "induction_k": options.induction_k,
             "formal_workers": options.formal_workers,
+            "formal_query_timeout": options.formal_timeout,
             "proof_cache": options.proof_cache,
             "mine_engine": options.mine_engine}
 
@@ -403,7 +404,9 @@ def _sweep_execute(params: Mapping) -> tuple[dict, int]:
                             induction_k=params.get("induction_k", 8),
                             mine_engine=params.get("mine_engine", "rowwise"),
                             formal_workers=params.get("formal_workers", 1),
-                            formal_proof_cache=params.get("proof_cache", False))
+                            formal_proof_cache=params.get("proof_cache", False),
+                            formal_query_timeout=params.get(
+                                "formal_query_timeout"))
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                               config=config)
     seed_cycles = params["seed_cycles"]

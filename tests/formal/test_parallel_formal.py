@@ -159,6 +159,34 @@ class TestPoolLifecycle:
         for expected, got in zip(serial.check_all(assertions), results):
             assert got.verdict is expected.verdict
 
+    def test_sigkill_mid_batch_recovers_identically(self, arbiter2_module):
+        """An external SIGKILL on a worker that already holds a dispatched
+        shard must not lose or corrupt the batch: the supervisor respawns
+        the slot, requeues the shard, and the merged results match the
+        serial engine field for field."""
+        import os
+        import signal
+
+        from repro.formal.checker import build_engine
+
+        assertions = random_assertions(arbiter2_module, 12, seed=23)
+        engine = build_engine(arbiter2_module, "bmc", bound=6)
+        baseline = [engine.check(a) for a in assertions]
+        pool = FormalWorkerPool(arbiter2_module, "bmc", {"bound": 6}, workers=2)
+        try:
+            pool.ensure_started()
+            os.kill(pool._processes[0].pid, signal.SIGKILL)
+            results = pool.check_batch(list(enumerate(assertions)))
+        finally:
+            pool.close()
+        assert pool.restarts == 1
+        for sequence, expected in enumerate(baseline):
+            got = results[sequence]
+            assert got.verdict is expected.verdict
+            if expected.counterexample is not None:
+                assert (got.counterexample.input_vectors
+                        == expected.counterexample.input_vectors)
+
     def test_sharding_is_deterministic_and_total(self, arbiter2_module):
         from repro.formal.proofcache import assertion_shard
 

@@ -148,6 +148,61 @@ class TestPersistence:
             {"version": CACHE_SCHEMA_VERSION + 1, "entries": {"k": {}}}))
         assert len(ProofCache(stale)) == 0
 
+    def test_corrupt_file_is_quarantined_not_deleted(self, tmp_path):
+        """An unreadable cache file moves aside to ``.corrupt-<ts>`` so the
+        evidence survives for inspection, and the cache restarts empty."""
+        garbage = tmp_path / "proofs.json"
+        garbage.write_text('{"version": 2, "entr')  # truncated mid-write
+        cache = ProofCache(garbage)
+        assert len(cache) == 0
+        quarantined = list(tmp_path.glob("proofs.json.corrupt-*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text() == '{"version": 2, "entr'
+        assert not garbage.exists()
+        # The cache is fully usable at the original path afterwards.
+        assertion = sample_assertion()
+        cache.store("a" * 24, "e", assertion, true_result(assertion, "explicit"))
+        cache.flush()
+        assert ProofCache(garbage).lookup("a" * 24, "e", assertion) is not None
+
+    def test_unknown_schema_is_quarantined(self, tmp_path):
+        stale = tmp_path / "proofs.json"
+        stale.write_text(json.dumps(
+            {"version": CACHE_SCHEMA_VERSION + 1, "entries": {"k": {}}}))
+        assert len(ProofCache(stale)) == 0
+        assert list(tmp_path.glob("proofs.json.corrupt-*"))
+
+    def test_malformed_entries_skipped_good_ones_load(self, tmp_path):
+        """Per-entry damage inside a well-formed file drops only the
+        damaged entries — no quarantine, no collateral loss."""
+        good = sample_assertion(value=1)
+        path = tmp_path / "proofs.json"
+        cache = ProofCache(path)
+        cache.store("a" * 24, "e", good, true_result(good, "explicit"))
+        cache.flush()
+        document = json.loads(path.read_text())
+        document["entries"]["broken-1"] = {"verdict": "maybe"}
+        document["entries"]["broken-2"] = "not even a dict"
+        document["entries"]["broken-3"] = {
+            "verdict": Verdict.FALSE.value,
+            "counterexample": {"input_vectors": "not-a-list"},
+        }
+        path.write_text(json.dumps(document))
+        reloaded = ProofCache(path)
+        assert len(reloaded) == 1
+        assert reloaded.lookup("a" * 24, "e", good).verdict is Verdict.TRUE
+        assert path.exists() and not list(tmp_path.glob("*.corrupt-*"))
+
+    def test_timed_out_results_are_never_stored(self):
+        from repro.formal.result import timeout_result
+
+        assertion = sample_assertion()
+        cache = ProofCache()
+        cache.store("a" * 24, "e", assertion,
+                    timeout_result(assertion, "bmc", bound=6))
+        assert len(cache) == 0
+        assert cache.lookup("a" * 24, "e", assertion) is None
+
     def test_in_memory_flush_is_a_noop(self):
         cache = ProofCache()
         assertion = sample_assertion()

@@ -111,6 +111,35 @@ class TestJobLog:
     def test_missing_log_is_empty(self, tmp_path):
         assert RunCheckpoint(tmp_path / "nowhere").completed() == {}
 
+    def test_mid_file_corruption_counted_and_logged(self, tmp_path, caplog):
+        """Damage in the *middle* of the log (bit rot, chaos injection)
+        loses only the damaged records: they are counted, warned about
+        once, and the affected jobs simply re-run."""
+        import logging
+
+        from repro.formal.chaos import corrupt_jsonl_line
+
+        checkpoint = RunCheckpoint(tmp_path)
+        for job_id in ("a", "b", "c"):
+            checkpoint.append({"job_id": job_id, "status": "ok", "payload": {}})
+        corrupt_jsonl_line(checkpoint.jobs_path, 1)
+        with caplog.at_level(logging.WARNING, logger="repro.runner.checkpoint"):
+            loaded = checkpoint.completed()
+        assert set(loaded) == {"a", "c"}  # "b" looks incomplete → re-runs
+        assert checkpoint.corrupt_lines == 1
+        assert any("corrupt checkpoint line" in record.message
+                   for record in caplog.records)
+        # Re-running the lost job and appending repairs the run in place.
+        checkpoint.append({"job_id": "b", "status": "ok", "payload": {}})
+        assert set(checkpoint.completed()) == {"a", "b", "c"}
+        assert checkpoint.corrupt_lines == 1  # the damaged line is still there
+
+    def test_undamaged_log_reports_zero_corrupt_lines(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.append({"job_id": "a", "status": "ok", "payload": {}})
+        checkpoint.completed()
+        assert checkpoint.corrupt_lines == 0
+
 
 class TestResultAndDiscovery:
     def test_result_round_trip(self, tmp_path):
