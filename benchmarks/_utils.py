@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from pathlib import Path
 
 
@@ -27,4 +28,27 @@ def write_bench_json(name: str, payload: dict,
     target.mkdir(parents=True, exist_ok=True)
     path = target / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _reject_ignored(path)
     return path
+
+
+def _reject_ignored(path: Path) -> None:
+    """Fail loudly when a bench artifact lands on a git-ignored path.
+
+    Root bench files are part of the committed performance trajectory;
+    an ignore rule silently swallowing them cost two releases' worth of
+    artifacts (``BENCH_*.json`` sat in ``.gitignore`` while the scripts
+    kept writing them).  Outside a work tree (CI artifact dirs, exported
+    tarballs) git either ignores-by-absence or is missing — both fine.
+    """
+    try:
+        result = subprocess.run(
+            ["git", "check-ignore", "--quiet", str(path)],
+            cwd=path.parent, capture_output=True, timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return
+    if result.returncode == 0:
+        raise RuntimeError(
+            f"benchmark artifact {path} is git-ignored; fix .gitignore "
+            f"(or set BENCH_OUTPUT_DIR) so the trajectory stays committed")

@@ -1,0 +1,173 @@
+"""Netlist-IR optimization passes: encoding size and solve time, on vs off.
+
+``ir_opt=True`` routes the SAT back ends through the bit-level netlist
+IR (:mod:`repro.ir`): structural hashing interns the use-def graph,
+constant folding sweeps reset-constant registers, and per-assertion
+cone-of-influence slicing restricts the transition relation the
+``Unroller`` encodes to the bits an assertion can actually observe.
+This benchmark measures what the slice buys on miner-shaped candidate
+corpora: encoded variables, clauses at query start (the query-weighted
+``clauses_reused`` counter — what the solver actually carries into each
+call), final solver clauses, and batch solve time, per design with the
+passes on and off.
+
+Shape requirements (the divergence gate runs in CI smoke on every push):
+
+* **result identity** — every verdict, every counterexample window and
+  every input vector is identical with the passes on or off, for both
+  plain BMC and the k-induction portfolio (one divergence fails the
+  benchmark);
+* at full scale the slice must **matter**: on at least two ITC'99-class
+  designs the query-weighted clause load drops by at least 2x.
+
+Set ``IR_BENCH_SMOKE=1`` for the seconds-scale CI configuration; the
+size gate only runs at full scale (the divergence gate always runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from _utils import run_once, write_bench_json
+
+from bench_formal_incremental import miner_shaped_assertions
+from repro.designs import load
+from repro.experiments.common import format_table
+from repro.formal.bmc import BmcModelChecker
+from repro.formal.induction import KInductionModelChecker
+
+SMOKE = os.environ.get("IR_BENCH_SMOKE", "") not in ("", "0")
+
+DESIGNS = ("arbiter2", "b01", "b06") if SMOKE else \
+    ("arbiter2", "arbiter4", "b01", "b02", "b06", "b09", "b12")
+#: ITC'99-class entries for the full-scale clause-reduction gate.
+ITC99_DESIGNS = ("b01", "b02", "b06", "b09", "b12")
+ASSERTION_COUNT = 8 if SMOKE else 40
+#: Same corpus seed as the other formal benchmarks' falsification mix.
+SEED = 11
+BOUND = 4 if SMOKE else 8
+INDUCTION_K = 4 if SMOKE else 8
+
+#: Full-scale acceptance gate: >= 2x query-weighted clause reduction on
+#: at least this many ITC'99-class designs.
+GATE_MIN_ITC99_DESIGNS = 2
+GATE_REDUCTION = 2.0
+
+
+def check_batch(engine, assertions):
+    start = time.process_time()
+    results = [engine.check(assertion) for assertion in assertions]
+    return time.process_time() - start, results
+
+
+def diverges(base, sliced):
+    """True when the optimized run changed anything observable."""
+    if base.verdict is not sliced.verdict:
+        return True
+    if base.counterexample is None:
+        return sliced.counterexample is not None
+    return (sliced.counterexample is None
+            or base.counterexample.window_start
+            != sliced.counterexample.window_start
+            or base.counterexample.input_vectors
+            != sliced.counterexample.input_vectors)
+
+
+def measure(module, assertions, engine_cls, **kwargs):
+    base_engine = engine_cls(module, **kwargs)
+    base_seconds, base_results = check_batch(base_engine, assertions)
+    opt_engine = engine_cls(module, ir_opt=True, **kwargs)
+    opt_seconds, opt_results = check_batch(opt_engine, assertions)
+    divergences = sum(diverges(base, sliced)
+                      for base, sliced in zip(base_results, opt_results))
+    return {
+        "base": {"seconds": base_seconds, **base_engine.reuse_stats()},
+        "ir": {"seconds": opt_seconds, **opt_engine.reuse_stats()},
+        "divergences": divergences,
+    }
+
+
+def test_ir_encoding_reduction(benchmark, print_section):
+    # Harness-timed sample: one warm optimized BMC batch on the first design.
+    sample_module = load(DESIGNS[0])
+    sample = miner_shaped_assertions(sample_module, ASSERTION_COUNT, seed=SEED)
+    run_once(benchmark, lambda: check_batch(
+        BmcModelChecker(sample_module, bound=BOUND, ir_opt=True), sample))
+
+    headers = ["design", "asserts", "clauses/query", "ir clauses/query",
+               "reduction", "vars", "ir vars", "base s", "ir s", "diverg"]
+    table_rows = []
+    json_rows = []
+    divergences_total = 0
+    reduction_by_design = {}
+
+    for design_name in DESIGNS:
+        module = load(design_name)
+        assertions = miner_shaped_assertions(module, ASSERTION_COUNT,
+                                             seed=SEED)
+        bmc = measure(module, assertions, BmcModelChecker, bound=BOUND)
+        induction = measure(module, assertions, KInductionModelChecker,
+                            bound=BOUND, induction_k=INDUCTION_K)
+        divergences = bmc["divergences"] + induction["divergences"]
+        divergences_total += divergences
+
+        # The gate metric: clauses the solver carried into each query,
+        # summed over the BMC batch (query-weighted encoding size).
+        base_load = bmc["base"]["clauses_reused"]
+        opt_load = bmc["ir"]["clauses_reused"]
+        reduction = base_load / opt_load if opt_load else 0.0
+        reduction_by_design[design_name] = reduction
+
+        queries = max(bmc["base"]["queries"], 1)
+        opt_queries = max(bmc["ir"]["queries"], 1)
+        table_rows.append([
+            design_name, len(assertions),
+            base_load // queries, opt_load // opt_queries,
+            f"{reduction:.1f}x",
+            bmc["base"]["encoded_variables"], bmc["ir"]["encoded_variables"],
+            f"{bmc['base']['seconds'] + induction['base']['seconds']:.3f}",
+            f"{bmc['ir']['seconds'] + induction['ir']['seconds']:.3f}",
+            divergences,
+        ])
+        json_rows.append({
+            "design": design_name,
+            "assertions": len(assertions),
+            "bmc": bmc,
+            "induction": induction,
+            "clause_reduction": reduction,
+        })
+
+    payload = {
+        "benchmark": "ir",
+        "smoke": SMOKE,
+        "config": {
+            "designs": list(DESIGNS),
+            "assertion_count": ASSERTION_COUNT,
+            "seed": SEED,
+            "bound": BOUND,
+            "induction_k": INDUCTION_K,
+        },
+        "gate": {"min_itc99_designs": GATE_MIN_ITC99_DESIGNS,
+                 "clause_reduction": GATE_REDUCTION},
+        "rows": json_rows,
+    }
+    artifact = write_bench_json("ir", payload)
+
+    print_section(
+        "Netlist IR — COI slicing + folding vs the monolithic encoding",
+        format_table(headers, table_rows) + f"\nartifact: {artifact}")
+
+    # Divergence gate (always, including CI smoke).
+    assert divergences_total == 0, \
+        "ir_opt changed a verdict or counterexample"
+
+    # Size gate (full scale only): the slice must actually shrink things.
+    if not SMOKE:
+        itc99_reduced = [name for name in ITC99_DESIGNS
+                         if reduction_by_design.get(name, 0.0)
+                         >= GATE_REDUCTION]
+        assert len(itc99_reduced) >= GATE_MIN_ITC99_DESIGNS, (
+            f"expected >= {GATE_REDUCTION}x clause reduction on "
+            f">= {GATE_MIN_ITC99_DESIGNS} ITC'99 designs, "
+            f"got {reduction_by_design}")

@@ -66,7 +66,9 @@ from repro.sim import (
     create_simulator,
 )
 
-__version__ = "1.6.0"
+#: Single source of truth for the release version: ``setup.py`` parses
+#: this assignment, so bump it here and nowhere else.
+__version__ = "1.8.0"
 
 __all__ = [
     "Assertion",

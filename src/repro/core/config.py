@@ -59,6 +59,12 @@ class GoldMineConfig:
       string additionally persists them to that JSON file (conventionally
       under ``artifacts/``) so sweeps across seeds/jobs stop re-proving
       identical candidates.  Cache hits reproduce byte-identical results.
+    * ``ir_opt`` — route both the formal engines and the batched
+      simulator through the bit-level netlist IR (:mod:`repro.ir`):
+      structural hashing, constant-register folding, and per-assertion
+      cone-of-influence slicing of the SAT encodings.  Verdicts,
+      counterexamples, and mined assertions are identical with the flag
+      on or off; only encoding size and runtime change.
     * ``formal_query_timeout`` — optional wall-clock budget in seconds
       for each individual formal query (``None`` = unbounded, the
       default).  On expiry the SAT engines abandon the query and report
@@ -87,6 +93,7 @@ class GoldMineConfig:
     formal_workers: int = 1
     formal_proof_cache: bool | str = False
     formal_query_timeout: float | None = None
+    ir_opt: bool = False
 
     def __post_init__(self) -> None:
         if self.window < 1:

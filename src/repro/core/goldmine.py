@@ -77,6 +77,7 @@ class GoldMine:
             workers=self.config.formal_workers,
             proof_cache=ProofCache.resolve(self.config.formal_proof_cache),
             query_timeout=self.config.formal_query_timeout,
+            ir_opt=self.config.ir_opt,
         )
 
     # ------------------------------------------------------------------
@@ -108,6 +109,7 @@ class GoldMine:
         return random_batch_traces(
             self.module, per_lane, lanes=lanes,
             seed=self.config.random_seed, bias=self.config.input_bias,
+            ir_opt=self.config.ir_opt,
         )
 
     def _batch_shape(self) -> tuple[int, int]:
@@ -142,7 +144,7 @@ class GoldMine:
             return random_batch_block(
                 self.module, per_lane, lanes=lanes,
                 seed=self.config.random_seed, bias=self.config.input_bias,
-                synth=self.synth,
+                synth=self.synth, ir_opt=self.config.ir_opt,
             )
         return self.generate_traces(stimulus)
 

@@ -110,6 +110,7 @@ class CoverageClosure:
             self._batched_simulator = BatchedSimulator(
                 module, lanes=self.config.sim_lanes, synth=self.engine.synth,
                 trace_columns=self._simulator.trace_columns,
+                ir_opt=self.config.ir_opt,
             )
 
     # ------------------------------------------------------------------

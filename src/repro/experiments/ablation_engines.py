@@ -58,6 +58,7 @@ def _collect_assertions(design_name: str, seed_cycles: int, random_seed: int,
                         mine_engine: str = "rowwise",
                         formal_workers: int = 1,
                         formal_query_timeout: float | None = None,
+                        ir_opt: bool = False,
                         proof_cache: bool | str = False) -> tuple:
     """Mine a mixed set of true and (historically) failed assertions."""
     meta = design_info(design_name)
@@ -67,7 +68,8 @@ def _collect_assertions(design_name: str, seed_cycles: int, random_seed: int,
                             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache,
-                            formal_query_timeout=formal_query_timeout)
+                            formal_query_timeout=formal_query_timeout,
+                            ir_opt=ir_opt)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     assertions: list[Assertion] = list(result.all_true_assertions)
@@ -87,6 +89,7 @@ def run(designs: Sequence[str] = ("arbiter2", "arbiter4", "b01"),
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> list[EngineComparison]:
     """Cross-check the three engines over mined assertion suites."""
     comparisons: list[EngineComparison] = []
@@ -97,6 +100,7 @@ def run(designs: Sequence[str] = ("arbiter2", "arbiter4", "b01"),
         induction_k=induction_k,
             mine_engine=mine_engine, formal_workers=formal_workers,
             formal_query_timeout=formal_query_timeout,
+            ir_opt=ir_opt,
             proof_cache=proof_cache,
         )
         assertions = assertions[:max_assertions_per_design]

@@ -55,6 +55,7 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                  mine_engine: str = "rowwise",
                  formal_workers: int = 1,
                  formal_query_timeout: float | None = None,
+                 ir_opt: bool = False,
                  proof_cache: bool | str = False) -> tuple[VariantOutcome, set]:
     meta = design_info(design_name)
     module = meta.build()
@@ -63,7 +64,8 @@ def _run_variant(design_name: str, output: str, rebuild: bool, seed_cycles: int,
                             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache,
-                            formal_query_timeout=formal_query_timeout)
+                            formal_query_timeout=formal_query_timeout,
+                            ir_opt=ir_opt)
     closure = CoverageClosure(module, outputs=[output], config=config,
                               rebuild_trees=rebuild)
     start = time.perf_counter()
@@ -91,6 +93,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> AblationResult:
     """Run both variants and collect the comparison."""
     incremental, incremental_set = _run_variant(
@@ -100,6 +103,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
         formal_query_timeout=formal_query_timeout,
+        ir_opt=ir_opt,
         proof_cache=proof_cache)
     rebuilt, rebuilt_set = _run_variant(
         design_name, output, rebuild=True, seed_cycles=seed_cycles,
@@ -108,6 +112,7 @@ def run(design_name: str = "arbiter4", output: str = "gnt0",
         induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
         formal_query_timeout=formal_query_timeout,
+        ir_opt=ir_opt,
         proof_cache=proof_cache)
     result = AblationResult(design=design_name, output=output,
                             incremental=incremental, rebuilt=rebuilt)

@@ -68,6 +68,7 @@ def run(window: int = 2, max_iterations: int = 16,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Fig12Result:
     """Reproduce Figure 12 on the Section 6 arbiter.
 
@@ -86,7 +87,8 @@ def run(window: int = 2, max_iterations: int = 16,
                                                     mine_engine=mine_engine,
                                                     formal_workers=formal_workers,
                                                     formal_proof_cache=proof_cache,
-                                                    formal_query_timeout=formal_query_timeout))
+                                                    formal_query_timeout=formal_query_timeout,
+                                                    ir_opt=ir_opt))
     closure_result = closure.run(arbiter2_directed_test())
 
     measurement_module = arbiter2()

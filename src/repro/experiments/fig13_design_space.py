@@ -74,6 +74,7 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Fig13Result:
     """Run the Figure 13 study on the default design set."""
     result = Fig13Result()
@@ -85,7 +86,8 @@ def run(subjects: Sequence[tuple[str, str, str]] = DEFAULT_SUBJECTS,
                                 engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                                 formal_workers=formal_workers,
                                 formal_proof_cache=proof_cache,
-                                formal_query_timeout=formal_query_timeout)
+                                formal_query_timeout=formal_query_timeout,
+                                ir_opt=ir_opt)
         closure = CoverageClosure(module, outputs=[output], config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

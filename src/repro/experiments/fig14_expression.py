@@ -77,6 +77,7 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Fig14Result:
     """Run the Figure 14 study."""
     result = Fig14Result()
@@ -89,7 +90,8 @@ def run(subjects: Sequence[str] = DEFAULT_SUBJECTS, seed_cycles: int = 3,
                                 engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                                 formal_workers=formal_workers,
                                 formal_proof_cache=proof_cache,
-                                formal_query_timeout=formal_query_timeout)
+                                formal_query_timeout=formal_query_timeout,
+                                ir_opt=ir_opt)
         closure = CoverageClosure(module, outputs=outputs, config=config)
         if meta.directed_test is not None:
             seed: object = meta.seed_vectors()

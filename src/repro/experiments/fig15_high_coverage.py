@@ -78,6 +78,7 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Fig15Result:
     """Run the high-coverage-block study."""
     meta = design_info(design_name)
@@ -100,7 +101,8 @@ def run(design_name: str = "wbstage", random_cycles: int = 30,
                             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache,
-                            formal_query_timeout=formal_query_timeout)
+                            formal_query_timeout=formal_query_timeout,
+                            ir_opt=ir_opt)
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None, config=config)
     closure_result = closure.run(seed_vectors)
 

@@ -86,6 +86,7 @@ def run(designs: Sequence[str] | None = None,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Fig16Result:
     """Run the ITC'99 coverage comparison.
 
@@ -124,7 +125,8 @@ def run(designs: Sequence[str] | None = None,
                                 mine_engine=mine_engine,
                                 formal_workers=formal_workers,
                                 formal_proof_cache=proof_cache,
-                                formal_query_timeout=formal_query_timeout)
+                                formal_query_timeout=formal_query_timeout,
+                                ir_opt=ir_opt)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(

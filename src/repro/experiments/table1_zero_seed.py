@@ -96,6 +96,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Table1Result:
     """Run the zero-seed study: no initial patterns at all."""
     result = Table1Result()
@@ -109,6 +110,7 @@ def run(subjects: Sequence[tuple[str, str]] = DEFAULT_SUBJECTS,
             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
             formal_workers=formal_workers, formal_proof_cache=proof_cache,
             formal_query_timeout=formal_query_timeout,
+            ir_opt=ir_opt,
         )
         closure = CoverageClosure(module, outputs=[output], config=config)
         closure_result = closure.run(None)

@@ -80,6 +80,7 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
                          mine_engine: str = "rowwise",
                          formal_workers: int = 1,
                          formal_query_timeout: float | None = None,
+                         ir_opt: bool = False,
                          proof_cache: bool | str = False):
     """Mine the golden design's assertion suite with the refinement loop.
 
@@ -94,7 +95,8 @@ def mine_assertion_suite(design_name: str, seed_cycles: int, random_seed: int,
                             engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                             formal_workers=formal_workers,
                             formal_proof_cache=proof_cache,
-                            formal_query_timeout=formal_query_timeout)
+                            formal_query_timeout=formal_query_timeout,
+                            ir_opt=ir_opt)
     closure = CoverageClosure(module, outputs=None, config=config)
     result = closure.run(RandomStimulus(seed_cycles, seed=random_seed))
     return module, result
@@ -111,6 +113,7 @@ def run(design_name: str = "fetch",
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Table2Result:
     """Run the fault-injection regression on the fetch stage."""
     module, closure_result = mine_assertion_suite(
@@ -119,6 +122,7 @@ def run(design_name: str = "fetch",
         induction_k=induction_k,
         mine_engine=mine_engine, formal_workers=formal_workers,
         formal_query_timeout=formal_query_timeout,
+        ir_opt=ir_opt,
         proof_cache=proof_cache,
     )
     assertions = closure_result.all_true_assertions
@@ -136,7 +140,8 @@ def run(design_name: str = "fetch",
         config=GoldMineConfig(engine=formal_engine, induction_k=induction_k,
                               formal_workers=formal_workers,
                               formal_proof_cache=proof_cache,
-                              formal_query_timeout=formal_query_timeout),
+                              formal_query_timeout=formal_query_timeout,
+                              ir_opt=ir_opt),
         test_suite=closure_result.test_suite if mode == "simulation" else None,
     )
 

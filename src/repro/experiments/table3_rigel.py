@@ -68,6 +68,7 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
         mine_engine: str = "rowwise",
         formal_workers: int = 1,
         formal_query_timeout: float | None = None,
+        ir_opt: bool = False,
         proof_cache: bool | str = False) -> Table3Result:
     """Run the Rigel coverage comparison.
 
@@ -108,7 +109,8 @@ def run(modules: Sequence[str] = DEFAULT_MODULES,
                                 engine=formal_engine, induction_k=induction_k, mine_engine=mine_engine,
                                 formal_workers=formal_workers,
                                 formal_proof_cache=proof_cache,
-                                formal_query_timeout=formal_query_timeout)
+                                formal_query_timeout=formal_query_timeout,
+                                ir_opt=ir_opt)
         closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                                   config=config)
         closure_result = closure.run(directed())

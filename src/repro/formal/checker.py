@@ -49,7 +49,8 @@ def build_engine(module: Module, name: str, bound: int = 10,
                  max_input_combinations: int = 4_096,
                  pinned_inputs: Mapping[str, int] | None = None,
                  induction_k: int = 8,
-                 query_timeout: float | None = None):
+                 query_timeout: float | None = None,
+                 ir_opt: bool = False):
     """Construct one formal engine by name.
 
     Shared by :class:`FormalVerifier` and the parallel pool's workers
@@ -58,7 +59,10 @@ def build_engine(module: Module, name: str, bound: int = 10,
 
     ``query_timeout`` is the per-check wall-clock budget; it only applies
     to the SAT-based engines (the explicit and BDD engines already carry
-    their own exploration limits).
+    their own exploration limits).  ``ir_opt`` enables the netlist IR
+    pipeline (:mod:`repro.ir`) on the SAT-based engines — per-assertion
+    COI slicing and reset-constant register folding; the explicit and BDD
+    engines ignore it (they enumerate word-level states directly).
     """
     if name == "explicit":
         return ExplicitModelChecker(
@@ -69,18 +73,18 @@ def build_engine(module: Module, name: str, bound: int = 10,
         )
     if name == "bmc":
         return BmcModelChecker(module, bound=bound, incremental=True,
-                               query_timeout=query_timeout)
+                               query_timeout=query_timeout, ir_opt=ir_opt)
     if name == "bmc-fresh":
         return BmcModelChecker(module, bound=bound, incremental=False,
-                               query_timeout=query_timeout)
+                               query_timeout=query_timeout, ir_opt=ir_opt)
     if name == "k-induction":
         return KInductionModelChecker(module, bound=bound,
                                       induction_k=induction_k, incremental=True,
-                                      query_timeout=query_timeout)
+                                      query_timeout=query_timeout, ir_opt=ir_opt)
     if name == "tiered":
         return TieredModelChecker(module, bound=bound,
                                   induction_k=induction_k, incremental=True,
-                                  query_timeout=query_timeout)
+                                  query_timeout=query_timeout, ir_opt=ir_opt)
     if name == "bdd":
         from repro.formal.bdd_engine import BddModelChecker
 
@@ -194,7 +198,8 @@ class FormalVerifier:
                  induction_k: int = 8,
                  workers: int = 1,
                  proof_cache: ProofCache | None = None,
-                 query_timeout: float | None = None):
+                 query_timeout: float | None = None,
+                 ir_opt: bool = False):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine '{engine}'; choose from {self.ENGINES}")
         if cross_check_engine is not None and cross_check_engine not in self.ENGINES:
@@ -216,6 +221,7 @@ class FormalVerifier:
             "pinned_inputs": dict(pinned_inputs) if pinned_inputs else None,
             "induction_k": induction_k,
             "query_timeout": query_timeout,
+            "ir_opt": ir_opt,
         }
         self._cache: dict[Assertion, CheckResult] = {}
         # Engines, the worker pool and the design fingerprint are all built
@@ -265,11 +271,16 @@ class FormalVerifier:
         engine.  Worker count never appears — parallelism does not change
         results, so serial and parallel runs share cache entries.
         """
+        # The IR pipeline preserves bounded verdicts but can strengthen
+        # k-induction (sliced simple-path constraints prove more), so
+        # sliced and unsliced entries must never alias in the cache.
+        ir_suffix = ":ir" if self._engine_kwargs.get("ir_opt") else ""
         if self.engine_name in ("bmc", "bmc-fresh"):
-            return f"{self.engine_name}:bound={self._engine_kwargs['bound']}"
+            return (f"{self.engine_name}:bound={self._engine_kwargs['bound']}"
+                    f"{ir_suffix}")
         if self.engine_name in ("k-induction", "tiered"):
             return (f"{self.engine_name}:bound={self._engine_kwargs['bound']}"
-                    f":k={self._engine_kwargs['induction_k']}")
+                    f":k={self._engine_kwargs['induction_k']}{ir_suffix}")
         if self.engine_name == "explicit":
             pinned = self._engine_kwargs["pinned_inputs"] or {}
             pinned_key = ",".join(f"{name}={value}"

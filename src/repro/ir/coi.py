@@ -1,0 +1,92 @@
+"""Per-assertion bit-level cone-of-influence reduction.
+
+The mining side already restricts candidate generation to each output's
+signal-level logic cone (``analysis/cone.py``, the paper's Definition 8).
+This module is the formal side's sharper counterpart: given the signals
+an assertion reads, compute the set of *bits* whose values can influence
+it across any number of cycles, walking the netlist's use-def edges
+transitively.  A register bit's operands are its next-state support, so
+the traversal naturally closes the cone over time — exactly the
+registers and inputs the transition system needs, and nothing else.
+
+The formal engines lift the bit cone to signal granularity (the unroller
+builds whole signals) and unroll only the slice; everything outside it
+is never bit-blasted, never Tseitin-encoded, and never burdens the
+SAT solver.  Soundness is classical COI: bits outside the cone cannot
+affect the assertion's value on any trace, so the sliced transition
+system has the same verdicts and the same canonical witnesses (absent
+bits default to zero, matching the canonical model's lexicographic
+minimisation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Container, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ir.netlist import NetlistIR
+
+
+class BitCone:
+    """Transitive bit-level fan-in cones over a :class:`NetlistIR`."""
+
+    def __init__(self, netlist: "NetlistIR"):
+        self._netlist = netlist
+        #: bit name -> its full transitive cone (memo; cones are highly
+        #: shared between assertions over the same outputs).
+        self._memo: dict[str, frozenset[str]] = {}
+        self._stop_key: frozenset[str] = frozenset()
+
+    def cone_of(self, signals: Iterable[str],
+                stop_at: Container[str] = ()) -> frozenset[str]:
+        """All bits that can influence any bit of ``signals``.
+
+        ``stop_at`` names bits whose fan-in must not be entered — the
+        folding pass's constant register bits: they are in the cone (the
+        consumer still reads their constant values) but contribute no
+        transitive dependencies, which is where folding shrinks slices.
+        Signals without netlist nodes (the clock, undriven wires) are
+        ignored; undriven operands read as constant zero downstream.
+        """
+        stop_key = frozenset(stop_at) if not isinstance(stop_at, frozenset) else stop_at
+        if stop_key != self._stop_key:
+            self._memo.clear()
+            self._stop_key = stop_key
+
+        from repro.boolean.bitblast import default_bit_name
+
+        module = self._netlist.module
+        nodes = self._netlist.nodes
+        result: set[str] = set()
+        seeds: list[str] = []
+        for signal in signals:
+            if not module.has_signal(signal):
+                continue
+            for bit in range(module.width_of(signal)):
+                name = default_bit_name(signal, bit)
+                if name in nodes:
+                    seeds.append(name)
+
+        for seed in seeds:
+            cached = self._memo.get(seed)
+            if cached is not None:
+                result |= cached
+                continue
+            cone: set[str] = set()
+            stack = [seed]
+            while stack:
+                bit = stack.pop()
+                if bit in cone:
+                    continue
+                node = nodes.get(bit)
+                if node is None:
+                    continue
+                cone.add(bit)
+                if bit in stop_key:
+                    continue
+                for operand in node.operands:
+                    if operand not in cone:
+                        stack.append(operand)
+            self._memo[seed] = frozenset(cone)
+            result |= cone
+        return frozenset(result)

@@ -105,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "differential baseline; columnar = big-int bitset "
                           "columns with popcount split gains — identical "
                           "trees, much faster induction)")
+    run.add_argument("--ir-opt", dest="ir_opt", action="store_true",
+                     help="route the formal engines and the batched "
+                          "simulator through the netlist IR's optimization "
+                          "passes (structural hashing, constant folding, "
+                          "per-assertion cone-of-influence slicing); "
+                          "results are identical, SAT encodings smaller")
     run.add_argument("--smoke", action="store_true",
                      help="smoke scale: reduced subjects/budgets, seconds not minutes")
     run.add_argument("--designs", type=_parse_csv, default=None,
@@ -158,6 +164,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         formal_workers=args.formal_workers,
         formal_timeout=args.formal_timeout, proof_cache=proof_cache,
         mine_engine=args.mine_engine,
+        ir_opt=args.ir_opt,
         smoke=args.smoke,
         designs=args.designs, seeds=args.seeds, seed_cycles=args.seed_cycles,
         max_iterations=args.max_iterations,

@@ -73,6 +73,10 @@ class RunOptions:
     persist under ``artifacts/``, see :mod:`repro.formal.proofcache`);
     ``mine_engine`` selects the A-Miner back end (``rowwise``
     or the bit-parallel ``columnar``, see ``GoldMineConfig.mine_engine``);
+    ``ir_opt`` routes the formal engines and the batched simulator
+    through the netlist IR's optimization passes (structural hashing,
+    constant folding, per-assertion COI slicing — results identical,
+    encodings smaller, see ``GoldMineConfig.ir_opt``);
     ``smoke`` shrinks workloads to seconds for CI and doc
     checks; ``designs``/``seeds`` restrict or parameterize the job matrix
     where an experiment iterates over designs; ``max_iterations``
@@ -87,6 +91,7 @@ class RunOptions:
     formal_timeout: float | None = None
     proof_cache: bool | str = False
     mine_engine: str = "rowwise"
+    ir_opt: bool = False
     smoke: bool = False
     designs: tuple[str, ...] | None = None
     seeds: tuple[int, ...] = (0,)
@@ -110,6 +115,7 @@ class RunOptions:
             "formal_timeout": self.formal_timeout,
             "proof_cache": self.proof_cache,
             "mine_engine": self.mine_engine,
+            "ir_opt": self.ir_opt,
             "smoke": self.smoke,
             "designs": list(self.designs) if self.designs is not None else None,
             "seeds": list(self.seeds),

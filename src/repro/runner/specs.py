@@ -33,7 +33,8 @@ def _engine_params(options: RunOptions) -> dict:
             "formal_workers": options.formal_workers,
             "formal_query_timeout": options.formal_timeout,
             "proof_cache": options.proof_cache,
-            "mine_engine": options.mine_engine}
+            "mine_engine": options.mine_engine,
+            "ir_opt": options.ir_opt}
 
 
 def _reject_designs(options: RunOptions, experiment: str, fixed: str) -> None:
@@ -406,7 +407,8 @@ def _sweep_execute(params: Mapping) -> tuple[dict, int]:
                             formal_workers=params.get("formal_workers", 1),
                             formal_proof_cache=params.get("proof_cache", False),
                             formal_query_timeout=params.get(
-                                "formal_query_timeout"))
+                                "formal_query_timeout"),
+                            ir_opt=params.get("ir_opt", False))
     closure = CoverageClosure(module, outputs=list(meta.mining_outputs) or None,
                               config=config)
     seed_cycles = params["seed_cycles"]

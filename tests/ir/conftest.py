@@ -1,0 +1,13 @@
+"""Shared helpers for the netlist-IR suite.
+
+The differential tests reuse the miner-shaped random-assertion corpus
+from the formal suite; pytest only puts each test file's own directory
+on ``sys.path``, so the sibling directory is added here.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "formal"))

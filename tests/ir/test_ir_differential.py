@@ -1,0 +1,192 @@
+"""Differential contract of the IR optimization passes: results identical.
+
+``ir_opt`` slices, folds, and hash-cons-shares the SAT encodings and the
+compiled simulator netlist, but must never change anything observable:
+
+* BMC and k-induction verdicts — and the full canonical counterexample,
+  input vectors included — are identical with the passes on or off;
+* an ``unbounded`` proof produced on the sliced encoding survives the
+  exact explicit-state oracle;
+* an end-to-end coverage-closure run has byte-identical
+  ``deterministic_json`` with the flag on or off, across serial,
+  process-parallel, and proof-cached formal back ends;
+* the batched simulator compiled with folding is lane-exact with the
+  unoptimised compile, and a conflicting poke of a folded register
+  raises instead of silently desynchronising.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.assertions.assertion import Verdict
+from repro.core.config import GoldMineConfig
+from repro.core.refinement import CoverageClosure
+from repro.designs import DESIGNS
+from repro.formal.bmc import BmcModelChecker
+from repro.formal.explicit import ExplicitModelChecker
+from repro.formal.induction import KInductionModelChecker
+from repro.formal.result import PROOF_UNBOUNDED
+from repro.hdl.parser import parse_module
+from repro.sim.batched import BatchedSimulator, CompiledNetlist
+from repro.sim.simulator import SimulationError
+from repro.sim.stimulus import RandomStimulus
+
+# Sibling formal suite (tests/ir/conftest.py puts tests/formal on sys.path).
+from test_incremental_bmc import random_assertions, replay_violates
+from test_netlist import FOLDABLE_SOURCE
+
+DIFFERENTIAL_DESIGNS = ("arbiter2", "arbiter4", "counter_block",
+                        "handshake_block", "b01", "b06", "b12")
+BOUND = 6
+INDUCTION_K = 6
+
+
+def corpus(module):
+    """Proof-rich + falsification-skewed miner-shaped corpora."""
+    return (random_assertions(module, 12, seed=101)
+            + random_assertions(module, 8, seed=11))
+
+
+def assert_same_result(module, assertion, expected, got, context):
+    assert got.verdict is expected.verdict, (
+        f"{context}: {assertion.describe()}: "
+        f"{expected.verdict.name} != {got.verdict.name}")
+    if expected.counterexample is not None:
+        assert got.counterexample is not None, context
+        assert (got.counterexample.window_start
+                == expected.counterexample.window_start), context
+        assert (got.counterexample.input_vectors
+                == expected.counterexample.input_vectors), context
+        assert replay_violates(module, assertion, got.counterexample)
+
+
+class TestEngineIdentity:
+    @pytest.mark.parametrize("design_name", DIFFERENTIAL_DESIGNS)
+    def test_bmc_verdicts_and_witnesses_identical(self, design_name):
+        module = DESIGNS[design_name].build()
+        base = BmcModelChecker(module, bound=BOUND)
+        sliced = BmcModelChecker(module, bound=BOUND, ir_opt=True)
+        for assertion in corpus(module):
+            assert_same_result(module, assertion, base.check(assertion),
+                               sliced.check(assertion),
+                               f"[{design_name}] bmc ir on/off")
+        stats = sliced.reuse_stats()
+        assert stats["ir_slices"] >= 1
+
+    @pytest.mark.parametrize("design_name", DIFFERENTIAL_DESIGNS)
+    def test_k_induction_verdicts_and_witnesses_identical(self, design_name):
+        module = DESIGNS[design_name].build()
+        base = KInductionModelChecker(module, bound=BOUND,
+                                      induction_k=INDUCTION_K)
+        sliced = KInductionModelChecker(module, bound=BOUND,
+                                        induction_k=INDUCTION_K, ir_opt=True)
+        for assertion in corpus(module):
+            assert_same_result(module, assertion, base.check(assertion),
+                               sliced.check(assertion),
+                               f"[{design_name}] k-induction ir on/off")
+
+
+class TestSlicedProofSoundness:
+    """The explicit oracle confirms every unbounded proof found on slices."""
+
+    ORACLE_DESIGNS = ("arbiter2", "arbiter4", "counter_block",
+                      "handshake_block", "b01")
+
+    def test_explicit_oracle_confirms_sliced_proofs(self):
+        proofs = 0
+        for design_name in self.ORACLE_DESIGNS:
+            module = DESIGNS[design_name].build()
+            oracle = ExplicitModelChecker(module)
+            engine = KInductionModelChecker(module, bound=BOUND,
+                                            induction_k=INDUCTION_K,
+                                            ir_opt=True)
+            for assertion in corpus(module):
+                result = engine.check(assertion)
+                if result.proof_strength != PROOF_UNBOUNDED:
+                    continue
+                proofs += 1
+                confirmed = oracle.check(assertion)
+                assert confirmed.verdict is Verdict.TRUE, (
+                    f"REFUTED SLICED PROOF [{design_name}] "
+                    f"{assertion.describe()}")
+        # Guard the oracle's strength: no proofs would make it vacuous.
+        assert proofs > 0
+
+
+def closure_json(design_name, **overrides):
+    meta = DESIGNS[design_name]
+    module = meta.build()
+    config = GoldMineConfig(window=meta.window, max_iterations=5,
+                            engine="tiered", bound=BOUND, induction_k=4,
+                            sim_engine="batched", sim_lanes=16,
+                            mine_engine="columnar", **overrides)
+    closure = CoverageClosure(module,
+                              outputs=list(meta.mining_outputs) or None,
+                              config=config)
+    result = closure.run(RandomStimulus(8, seed=3))
+    return json.dumps(result.deterministic_json(), sort_keys=True)
+
+
+class TestClosureByteIdentity:
+    """End-to-end closure runs: ir_opt must be observationally invisible."""
+
+    @pytest.mark.parametrize("design_name", ("arbiter2", "counter_block", "b01"))
+    def test_serial_parallel_cached_all_match_baseline(self, design_name):
+        baseline = closure_json(design_name, ir_opt=False)
+        assert closure_json(design_name, ir_opt=True) == baseline
+        assert closure_json(design_name, ir_opt=True,
+                            formal_workers=2) == baseline
+        # Twice with a shared in-memory proof cache: the second run's
+        # verdicts come from cache hits keyed with the ":ir" suffix.
+        assert closure_json(design_name, ir_opt=True,
+                            formal_proof_cache=True) == baseline
+        assert closure_json(design_name, ir_opt=True,
+                            formal_proof_cache=True) == baseline
+
+
+class TestBatchedSimFold:
+    def test_fold_detected_and_lane_exact(self):
+        module = parse_module(FOLDABLE_SOURCE)
+        plain = BatchedSimulator(module, lanes=16)
+        folded = BatchedSimulator(module, lanes=16, ir_opt=True)
+        assert folded.netlist.folded_registers == {"stuck": 0}
+        for seed in (0, 7):
+            base = plain.run_random_block(40, seed=seed)
+            opt = folded.run_random_block(40, seed=seed)
+            assert base.cycle_words == opt.cycle_words
+
+    def test_roster_compiles_identically(self):
+        """No bundled design folds, so ir_opt must be a no-op there."""
+        for design_name in ("arbiter2", "b01"):
+            module = DESIGNS[design_name].build()
+            plain = BatchedSimulator(module, lanes=8)
+            opt = BatchedSimulator(module, lanes=8, ir_opt=True)
+            assert opt.netlist.folded_registers == {}
+            base = plain.run_random_block(30, seed=2)
+            assert base.cycle_words == opt.run_random_block(30, seed=2).cycle_words
+
+    def test_conflicting_poke_rejected(self):
+        module = parse_module(FOLDABLE_SOURCE)
+        simulator = BatchedSimulator(module, lanes=4, ir_opt=True)
+        with pytest.raises(SimulationError, match="folded register 'stuck'"):
+            simulator.poke("stuck", 1)
+        with pytest.raises(SimulationError, match="folded register 'stuck'"):
+            simulator.poke("stuck", [0, 1, 0, 0])
+        with pytest.raises(SimulationError, match="folded register 'stuck'"):
+            simulator.poke_words("stuck", [0b0010])
+        # The stuck value itself is always accepted (replay paths use it).
+        simulator.poke("stuck", 0)
+        simulator.poke("stuck", [0, 0])
+        simulator.poke_words("stuck", [0])
+        simulator.load_state({"stuck": 0, "track": 3})
+
+    def test_shared_netlist_reuse(self):
+        module = parse_module(FOLDABLE_SOURCE)
+        netlist = CompiledNetlist(module, ir_opt=True)
+        first = BatchedSimulator(module, lanes=4, netlist=netlist)
+        second = BatchedSimulator(module, lanes=8, netlist=netlist)
+        assert first.netlist is second.netlist
+        assert second.netlist.folded_registers == {"stuck": 0}

@@ -1,0 +1,45 @@
+"""Version metadata must be single-sourced.
+
+``setup.py`` carried 1.5.0 while the package said 1.6.0 and the
+changelog had already announced 1.7.0 — three sources of truth, all
+drifted.  ``setup.py`` now parses ``repro.__version__``; these tests pin
+the contract so the next bump cannot silently fork again.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_version_is_semver():
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_setup_metadata_matches_package_version():
+    result = subprocess.run(
+        [sys.executable, "setup.py", "--version"],
+        cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+    )
+    assert result.stdout.strip().splitlines()[-1] == repro.__version__
+
+
+def test_changelog_does_not_outrun_the_package():
+    """Every version the changelog announces must be <= the package's."""
+    text = (REPO_ROOT / "CHANGES.md").read_text(encoding="utf-8")
+    package = tuple(int(part) for part in repro.__version__.split("."))
+    announced = {
+        tuple(int(part) for part in match.groups())
+        for match in re.finditer(r"\bv(\d+)\.(\d+)\.(\d+)\b", text)
+    }
+    assert announced, "CHANGES.md should announce release versions"
+    newest = max(announced)
+    assert newest <= package, (
+        f"CHANGES.md announces v{'.'.join(map(str, newest))} but the package "
+        f"is only {repro.__version__}")
