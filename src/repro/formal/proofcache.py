@@ -40,6 +40,7 @@ from pathlib import Path
 from repro.assertions.assertion import Assertion, Literal, Verdict
 from repro.formal.result import PROOF_BOUNDED, CheckResult, Counterexample
 from repro.hdl.module import Module
+from repro.supervise import durable_write
 
 logger = logging.getLogger(__name__)
 
@@ -373,7 +374,8 @@ class ProofCache:
             self._entries = merged
             document = {"version": CACHE_SCHEMA_VERSION, "entries": merged}
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
-            tmp.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
-            os.replace(tmp, self.path)
+            # durable_write fsyncs the tmp and the directory entry, so a
+            # power loss mid-flush cannot leave an empty cache file.
+            durable_write(self.path,
+                          json.dumps(document, indent=1, sort_keys=True) + "\n")
             self._dirty = False

@@ -1,129 +1,38 @@
 """Worker-supervision primitives for the formal execution layer.
 
 The pieces :class:`repro.formal.parallel.FormalWorkerPool` composes into
-fault tolerance live here, deliberately free of any pool/engine imports
-so they can be reasoned about (and tested) in isolation:
-
-* :class:`RestartBudget` — a bounded, exponentially backed-off restart
-  allowance per supervised slot.  The pool consults it before respawning
-  a dead or wedged worker; once a slot's budget is exhausted the pool
-  stops supervising that slot and falls back to in-process checking for
-  the remaining shard, so a persistently crashing worker degrades
-  throughput instead of failing the batch.
-* :func:`stop_process` — terminate→kill escalation for one process, the
-  only sanctioned way the pool ends a worker that will not exit on its
-  own (wedged in a query, ignoring SIGTERM, ...).
-* :func:`reap_processes` — the ``weakref.finalize``/atexit target that
-  sweeps a pool's live-process list when the pool is garbage collected
-  or the interpreter exits, so an unclosed pool can never strand
-  children.  It takes the mutable list (never the pool itself — a
-  finalizer holding its referent would leak it) and tolerates every
-  per-process failure: cleanup must not raise during interpreter exit.
-* :func:`discard_queue` — drop a multiprocessing queue without joining
-  its feeder thread; used when the queues of a dead worker are replaced.
-
-Determinism note: supervision decides only *where* a query runs (original
-worker, respawned worker, or in-process fallback), never *what* it
-computes.  Every engine produces canonical results — a pure function of
-(design, assertion, engine config) — so a recovered batch is
-field-for-field identical to a fault-free one.
+fault tolerance originated here; they are now shared with the experiment
+runner's supervised job pool and live in :mod:`repro.supervise` (one
+failure model for the whole pipeline — see that module for the full
+contract).  This module re-exports them so existing formal-layer imports
+(`supervise.RestartBudget`, `supervise.stop_process`, ...) keep working
+unchanged.
 """
 
 from __future__ import annotations
 
+from repro.supervise import (
+    BACKOFF_CAP_SECONDS,
+    DEFAULT_BACKOFF_SECONDS,
+    DEFAULT_MAX_RESTARTS,
+    RestartBudget,
+    discard_queue,
+    durable_write,
+    fsync_directory,
+    process_rss_bytes,
+    reap_processes,
+    stop_process,
+)
 
-#: Default restart allowance per worker slot before falling back.
-DEFAULT_MAX_RESTARTS = 2
-#: Base backoff before the first restart; doubles per restart of a slot.
-DEFAULT_BACKOFF_SECONDS = 0.1
-#: Backoff is capped so a slot nearing budget exhaustion cannot stall a
-#: batch for longer than a couple of seconds.
-BACKOFF_CAP_SECONDS = 2.0
-
-
-class RestartBudget:
-    """Bounded restart allowance with exponential backoff, per slot.
-
-    ``next_delay(slot)`` either charges one restart to the slot and
-    returns the delay to sleep before respawning (``backoff * 2**used``,
-    capped), or returns ``None`` when the slot's budget is exhausted —
-    the caller's signal to stop supervising and degrade gracefully.
-    """
-
-    def __init__(self, max_restarts: int = DEFAULT_MAX_RESTARTS,
-                 backoff: float = DEFAULT_BACKOFF_SECONDS,
-                 cap: float = BACKOFF_CAP_SECONDS):
-        if max_restarts < 0:
-            raise ValueError("max_restarts must be >= 0")
-        if backoff < 0:
-            raise ValueError("backoff must be >= 0")
-        self.max_restarts = max_restarts
-        self.backoff = backoff
-        self.cap = cap
-        self._used: dict[int, int] = {}
-
-    def next_delay(self, slot: int) -> float | None:
-        used = self._used.get(slot, 0)
-        if used >= self.max_restarts:
-            return None
-        self._used[slot] = used + 1
-        return min(self.cap, self.backoff * (2 ** used))
-
-    def used(self, slot: int) -> int:
-        return self._used.get(slot, 0)
-
-    def exhausted(self, slot: int) -> bool:
-        return self._used.get(slot, 0) >= self.max_restarts
-
-    def total_used(self) -> int:
-        return sum(self._used.values())
-
-
-def stop_process(process, grace: float = 1.0) -> int | None:
-    """Stop ``process`` with terminate→kill escalation; returns exitcode.
-
-    SIGTERM first and a ``grace`` period to die; a survivor (wedged in
-    uninterruptible work, or ignoring SIGTERM outright) is SIGKILLed.
-    Safe on already-dead processes.
-    """
-    try:
-        if process.is_alive():
-            process.terminate()
-            process.join(grace)
-        if process.is_alive():
-            kill = getattr(process, "kill", process.terminate)
-            kill()
-            process.join(grace)
-    except (ValueError, OSError):  # pragma: no cover - already closed
-        pass
-    return process.exitcode
-
-
-def reap_processes(processes: list) -> None:
-    """Best-effort sweep of every process still alive in ``processes``.
-
-    Registered via ``weakref.finalize`` on the pool's live-process list;
-    runs when the pool is collected *or* at interpreter exit (finalize's
-    atexit guarantee), whichever comes first.  Never raises.
-    """
-    for process in list(processes):
-        try:
-            if process.is_alive():
-                stop_process(process, grace=0.5)
-        except Exception:  # noqa: BLE001 - exit-path cleanup must not raise
-            pass
-    del processes[:]
-
-
-def discard_queue(queue) -> None:
-    """Close a multiprocessing queue without joining its feeder thread.
-
-    Used for the queues of a dead/replaced worker: ``cancel_join_thread``
-    keeps a queue with unflushed buffered data from blocking interpreter
-    exit, and any error here is moot — the peer is gone.
-    """
-    try:
-        queue.cancel_join_thread()
-        queue.close()
-    except Exception:  # noqa: BLE001 - best-effort cleanup
-        pass
+__all__ = [
+    "BACKOFF_CAP_SECONDS",
+    "DEFAULT_BACKOFF_SECONDS",
+    "DEFAULT_MAX_RESTARTS",
+    "RestartBudget",
+    "discard_queue",
+    "durable_write",
+    "fsync_directory",
+    "process_rss_bytes",
+    "reap_processes",
+    "stop_process",
+]

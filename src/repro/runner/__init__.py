@@ -7,9 +7,13 @@ into declarative, independently-schedulable jobs:
   :class:`JobSpec` / :class:`RunOptions`: the declarative layer.  One
   spec per paper figure/table plus the ad-hoc ``sweep``.
 * :mod:`repro.runner.specs` — the built-in specs (registered on import).
-* :mod:`repro.runner.pool` — ``multiprocessing`` fan-out with per-job
-  wall-clock/cycle accounting; serial and parallel runs produce
-  identical artifact JSON.
+* :mod:`repro.runner.pool` — supervised multiprocess fan-out with per-job
+  wall-clock/cycle accounting, worker respawn + deterministic requeue on
+  crash, per-job deadlines, an RSS-growth memory watchdog with degraded
+  retries, and bounded retry budgets with poison quarantine; serial,
+  parallel, and fault-recovered runs produce identical artifact JSON.
+* :mod:`repro.runner.chaos` — deterministic fault injection (seeded
+  kill/wedge/OOM schedules per job index) for tests and benchmarks.
 * :mod:`repro.runner.checkpoint` — JSON-lines completion log under
   ``artifacts/<run-id>/``; killed runs resume without re-running
   completed jobs.
@@ -32,7 +36,7 @@ Library use mirrors the CLI::
 """
 
 from repro.runner.checkpoint import CheckpointError, RunCheckpoint, find_run_dirs
-from repro.runner.pool import execute_jobs, run_one_job
+from repro.runner.pool import SupervisedJobPool, execute_jobs, run_one_job
 from repro.runner.registry import (
     ExperimentSpec,
     JobSpec,
@@ -49,6 +53,7 @@ __all__ = [
     "JobSpec",
     "RunCheckpoint",
     "RunOptions",
+    "SupervisedJobPool",
     "aggregate_records",
     "execute_jobs",
     "experiment_names",

@@ -1,0 +1,209 @@
+"""Deterministic chaos-injection harness for the experiment runner.
+
+:mod:`repro.formal.chaos` made the formal layer's bad days reproducible;
+this module does the same one level up, for the job runner: a
+:class:`RunnerChaosPlan` is a pinned (or seeded) schedule of
+:class:`JobFault` faults keyed by **job index** — the position of a job
+in the run's pending list at dispatch time — threaded into
+:class:`repro.runner.pool.SupervisedJobPool` behind the same test-only
+installation hook pattern.
+
+Fault kinds:
+
+* ``kill`` — the worker executing the job sends itself a real SIGKILL
+  instead of answering.  This is byte-for-byte the observable state an
+  OOM killer or an external ``kill -9`` leaves: a dead child with a
+  negative exitcode and an unanswered job.
+* ``wedge`` — the worker ignores SIGTERM and spins silently, which is
+  what a runaway job looks like from the parent; only the job deadline's
+  terminate→kill escalation brings it down.
+* ``oom`` — the worker balloons its resident set by ``balloon_mb`` and
+  then spins, driving it over any configured ``--job-memory-budget`` so
+  the memory watchdog's kill-and-degrade path fires deterministically.
+
+Design rules (shared with the formal harness):
+
+* **Deterministic.**  A plan is written out fault-by-fault or derived
+  from a seed via :meth:`RunnerChaosPlan.seeded`; nothing samples wall
+  clock or global RNG state.  Re-running a schedule replays the
+  identical fault sequence.
+* **Once-only.**  A fault is *popped* from the plan when the parent
+  dispatches the job's first attempt, so the supervised retry always
+  runs clean — exactly the recover-from-a-transient-fault scenario
+  supervision exists for.
+* **Invisible when uninstalled.**  The pool consults
+  :func:`active_plan` once per run; with no plan installed (the default,
+  and always in production) the hook is a single module lookup.
+
+The invariant every runner chaos schedule must preserve — and
+``tests/runner/test_runner_chaos.py`` asserts — is that the recovered
+run's aggregated artifact (minus the wall-clock/attempt accounting) is
+byte-identical to the fault-free run's, and no orphan worker processes
+survive.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+#: Fault kinds a job's first attempt can be scheduled to suffer.
+FAULT_KILL = "kill"
+FAULT_WEDGE = "wedge"
+FAULT_OOM = "oom"
+
+_KINDS = (FAULT_KILL, FAULT_WEDGE, FAULT_OOM)
+
+#: Default resident-set balloon of an ``oom`` fault, comfortably above
+#: the memory budgets the chaos batteries configure (tens of MB).
+DEFAULT_BALLOON_MB = 192
+
+
+@dataclass(frozen=True)
+class JobFault:
+    """One scheduled fault for one job's first execution attempt."""
+
+    kind: str
+    balloon_mb: int = DEFAULT_BALLOON_MB
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind '{self.kind}'")
+        if self.balloon_mb < 1:
+            raise ValueError("balloon_mb must be >= 1")
+
+
+@dataclass
+class RunnerChaosPlan:
+    """A pinned schedule of job faults plus supervision overrides.
+
+    ``faults`` maps job index (position in the run's pending list) →
+    fault; each entry is consumed by the first dispatch of that job.
+    The supervision overrides default to test-friendly values — a small
+    retry backoff keeps chaos batteries fast while exercising the same
+    code paths production backoffs would; ``None`` keeps the runner's
+    own setting.
+    """
+
+    faults: dict[int, JobFault] = field(default_factory=dict)
+    #: Runner overrides; ``None`` keeps the caller's value.
+    job_timeout: float | None = None
+    memory_budget_mb: float | None = None
+    retry_budget: int | None = None
+    backoff: float | None = 0.01
+
+    @classmethod
+    def seeded(cls, seed: int, jobs: int, faults: int = 1,
+               kinds: tuple[str, ...] = (FAULT_KILL, FAULT_WEDGE)) -> "RunnerChaosPlan":
+        """Derive a reproducible plan from ``seed`` for a run of ``jobs`` jobs.
+
+        Picks ``faults`` distinct job indexes and gives each a fault of a
+        seeded kind.  Same seed, same plan — always.  ``oom`` is not in
+        the default kind set because it only fires observably when a
+        memory budget is configured.
+        """
+        rng = random.Random(seed)
+        count = max(0, min(faults, jobs))
+        indexes = rng.sample(range(jobs), count)
+        plan_faults = {index: JobFault(kind=rng.choice(list(kinds)))
+                       for index in sorted(indexes)}
+        plan = cls(faults=plan_faults)
+        if any(fault.kind == FAULT_WEDGE for fault in plan_faults.values()):
+            # A wedged worker only comes down via the job deadline; make
+            # sure a seeded schedule always arms one.
+            plan.job_timeout = 1.0
+        return plan
+
+    # ------------------------------------------------------------------
+    def take_fault(self, job_index: int) -> JobFault | None:
+        """Pop the fault scheduled for ``job_index`` (once-only)."""
+        return self.faults.pop(job_index, None)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scheduled fault has been dispatched."""
+        return not self.faults
+
+
+# ----------------------------------------------------------------------
+# the test-only installation hook the supervised pool consults
+# ----------------------------------------------------------------------
+_active_plan: RunnerChaosPlan | None = None
+
+
+def install(plan: RunnerChaosPlan) -> None:
+    """Arm ``plan`` for the next supervised run in this process (test-only)."""
+    global _active_plan
+    _active_plan = plan
+
+
+def uninstall() -> None:
+    global _active_plan
+    _active_plan = None
+
+
+def active_plan() -> RunnerChaosPlan | None:
+    return _active_plan
+
+
+@contextmanager
+def injected(plan: RunnerChaosPlan):
+    """``with chaos.injected(plan):`` — install for the block, always clean up."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# worker-side fault execution (runs inside runner worker processes)
+# ----------------------------------------------------------------------
+def _spin_until_orphaned(max_seconds: float = 60.0) -> None:  # pragma: no cover
+    """Ignore SIGTERM and spin; exit if the parent dies or time runs out.
+
+    The SIGTERM ignore forces the supervisor's kill() escalation — the
+    honest stand-in for a job stuck in uninterruptible work — while the
+    parent-liveness check guarantees a wedged worker can never outlive
+    the test that injected it.  ``max_seconds`` is a belt-and-braces
+    bound for schedules that wedge without arming a job deadline: the
+    worker eventually dies on its own (indistinguishable from a kill
+    fault), so the run recovers instead of hanging forever.
+    """
+    import multiprocessing
+    import signal
+    import time
+
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    parent = multiprocessing.parent_process()
+    deadline = time.monotonic() + max_seconds
+    while ((parent is None or parent.is_alive())
+           and time.monotonic() < deadline):
+        time.sleep(0.05)
+    os._exit(173)
+
+
+def suffer(fault: JobFault) -> None:  # pragma: no cover - dies/spins
+    """Execute ``fault`` inside a worker process.  Does not return."""
+    if fault.kind == FAULT_KILL:
+        import signal
+
+        # A real SIGKILL: no cleanup hooks, negative exitcode — exactly
+        # what the OOM killer or an operator's kill -9 leaves behind.
+        os.kill(os.getpid(), signal.SIGKILL)
+        while True:  # unreachable; SIGKILL cannot be caught
+            pass
+    if fault.kind == FAULT_OOM:
+        # Balloon the resident set with *unique* written pages — an
+        # untouched or repeating buffer can be elided by lazy mapping or
+        # same-page merging — then hold them while spinning so the
+        # parent's RSS probe sees the pressure.
+        hog = [os.urandom(1 << 20) for _ in range(fault.balloon_mb)]
+        assert hog  # keep the allocation referenced while spinning
+        _spin_until_orphaned()
+    _spin_until_orphaned()

@@ -29,6 +29,8 @@ import os
 from pathlib import Path
 from typing import Iterable, Mapping
 
+from repro.supervise import durable_write
+
 
 logger = logging.getLogger(__name__)
 
@@ -58,10 +60,15 @@ def jobs_signature(tasks) -> str:
 
 
 def _write_atomic(path: Path, text: str) -> None:
-    """Write via tmp + rename so a kill never leaves a truncated file."""
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    """Durably replace ``path``: tmp + fsync + rename + directory fsync.
+
+    Plain tmp-and-rename survives a *process* kill but not a power loss
+    — the rename can hit disk before the tmp's data, leaving an empty
+    manifest/result.  :func:`repro.supervise.durable_write` fsyncs the
+    tmp file and then the directory entry so a crash at any point leaves
+    the complete old file or the complete new one.
+    """
+    durable_write(path, text)
 
 
 class CheckpointError(RuntimeError):

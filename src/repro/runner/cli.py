@@ -63,6 +63,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment name (see 'list')")
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes (default 1 = serial)")
+    run.add_argument("--job-timeout", dest="job_timeout", type=float,
+                     default=None, metavar="SECONDS",
+                     help="wall-clock deadline per job (default: unbounded); "
+                          "an over-deadline worker is killed and the job "
+                          "retried within its --job-retries budget, then "
+                          "recorded as timed_out")
+    run.add_argument("--job-memory-budget", dest="job_memory_budget",
+                     type=float, default=None, metavar="MB",
+                     help="RSS-growth budget per job in MB (default: "
+                          "unbounded); an over-budget worker is killed and "
+                          "the job retried once in degraded mode (reduced "
+                          "sim_lanes, in-process formal) before the retry "
+                          "budget applies; requires /proc, disabled elsewhere")
+    run.add_argument("--job-retries", dest="job_retries", type=int, default=2,
+                     metavar="N",
+                     help="fault retries per job before quarantine, counted "
+                          "cumulatively across resumes (default 2); a job "
+                          "that keeps killing its worker is recorded as "
+                          "poisoned and skipped by later resumes")
+    run.add_argument("--retry-poisoned", dest="retry_poisoned",
+                     action="store_true",
+                     help="re-admit quarantined (poisoned/timed_out) and "
+                          "budget-exhausted jobs with a fresh retry budget")
     run.add_argument("--engine", choices=("scalar", "batched"), default="scalar",
                      help="simulation engine threaded through the pipeline")
     run.add_argument("--formal-engine", dest="formal_engine",
@@ -199,7 +222,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     progress = None if args.quiet else \
         (lambda message: print(message, file=sys.stderr, flush=True))
     records = execute_jobs(jobs, checkpoint, workers=args.workers,
-                           progress=progress)
+                           progress=progress,
+                           job_timeout=args.job_timeout,
+                           memory_budget_mb=args.job_memory_budget,
+                           retry_budget=args.job_retries,
+                           retry_poisoned=args.retry_poisoned)
     document = aggregate_records(spec.name, jobs, records)
     checkpoint.write_result(document)
 

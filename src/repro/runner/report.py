@@ -32,6 +32,7 @@ def aggregate_records(experiment: str, jobs: Sequence[JobSpec],
             "status": record.get("status"),
             "seconds": record.get("seconds", 0.0),
             "cycles": record.get("cycles", 0),
+            "attempts": record.get("attempts", 1),
         })
         if record.get("status") != "ok":
             failures.append({"job_id": job.job_id,
@@ -93,9 +94,10 @@ def render_result(document: Mapping) -> str:
     if accounting:
         lines.append("")
         lines.append(format_table(
-            ["job", "status", "seconds", "cycles"],
+            ["job", "status", "seconds", "cycles", "attempts"],
             [[entry["job_id"], entry["status"], f"{entry['seconds']:.2f}",
-              entry["cycles"]] for entry in accounting]))
+              entry["cycles"], entry.get("attempts", 1)]
+             for entry in accounting]))
         total_seconds = sum(entry["seconds"] for entry in accounting)
         total_cycles = sum(entry["cycles"] for entry in accounting)
         lines.append(f"total: {len(accounting)} jobs, {total_seconds:.2f}s "

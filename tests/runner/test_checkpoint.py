@@ -166,3 +166,32 @@ class TestResultAndDiscovery:
         (tmp_path / "not-a-run").mkdir()
         found = [path.name for path in find_run_dirs(tmp_path)]
         assert found == ["fig12", "fig13"]
+
+
+class TestDurableWrites:
+    """The atomic writers must be the fsync-hardened durable_write path."""
+
+    def test_manifest_write_leaves_no_tmp_file(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path / "run")
+        checkpoint.ensure_manifest(_manifest())
+        leftovers = [path.name for path in checkpoint.run_dir.iterdir()
+                     if ".tmp" in path.name]
+        assert leftovers == []
+
+    def test_result_overwrite_is_complete_old_or_complete_new(self, tmp_path):
+        checkpoint = RunCheckpoint(tmp_path)
+        checkpoint.write_result({"version": 1})
+        checkpoint.write_result({"version": 2})
+        assert checkpoint.load_result() == {"version": 2}
+        leftovers = [path.name for path in tmp_path.iterdir()
+                     if ".tmp" in path.name]
+        assert leftovers == []
+
+    def test_durable_write_replaces_and_fsyncs(self, tmp_path):
+        from repro.supervise import durable_write
+
+        target = tmp_path / "file.json"
+        durable_write(target, "first")
+        durable_write(target, "second")
+        assert target.read_text() == "second"
+        assert list(tmp_path.iterdir()) == [target]
